@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! Network-calculus analysis of weighted fair queuing, after §4 and
+//! Appendix B of the Aequitas paper.
+//!
+//! The paper models a single bottleneck served by WFQ under the bursty
+//! arrival pattern of Fig. 7: during each unit period, traffic arrives at
+//! `ρ·r` (burst load `ρ > 1` normalized to line rate `r`) until the average
+//! load `μ < 1` has arrived, then the source idles. Splitting the arrivals
+//! across QoS classes by a *QoS-mix* yields per-class worst-case queuing
+//! delays expressed as fractions of the period ("normalized delay").
+//!
+//! This crate provides:
+//!
+//! * [`two_qos`] — the closed-form `Delay_h(x)` (Eq. 1) and `Delay_l(x)`
+//!   (Eq. 8) for two QoS classes with weight ratio `φ:1`, plus the `φ → ∞`
+//!   limit of Lemma 2.
+//! * [`fluid`] — an exact fluid (GPS) integrator for any number of classes,
+//!   used to produce the 3-QoS delay profiles of Fig. 9 and to cross-check
+//!   the closed forms.
+//! * [`region`] — the admissible region (Eq. 3): the set of QoS-mixes with
+//!   no priority inversion, and per-SLO admissible share look-ups.
+//! * [`guaranteed_share`] — the §5.2 lower bound on admitted traffic.
+//!
+//! # Example: reading the Fig. 8 curve
+//!
+//! ```
+//! use aequitas_analysis::{delay_h, delay_l, TwoQosParams};
+//!
+//! let p = TwoQosParams { phi: 4.0, mu: 0.8, rho: 1.2 };
+//! // Below phi/(phi+1)/rho the high class rides free...
+//! assert_eq!(delay_h(p, 0.5), 0.0);
+//! // ...and past phi/(phi+1) priority inversion begins.
+//! assert!(delay_h(p, 0.9) > delay_l(p, 0.9));
+//! ```
+
+pub mod fluid;
+pub mod region;
+pub mod two_qos;
+
+pub use fluid::{fluid_delays, FluidSpec};
+pub use region::{admissible_region_2qos, admissible_share_for_slo, inversion_free};
+pub use two_qos::{delay_h, delay_h_infinite_weight, delay_l, TwoQosParams};
+
+/// Minimum average rate admitted on class `i` by Aequitas in the theoretical
+/// model of §5.2: `r · (φ_i / Σφ) · (μ/ρ)`.
+///
+/// `rate` is the line rate in any unit; the result is in the same unit.
+pub fn guaranteed_share(rate: f64, weights: &[f64], i: usize, mu: f64, rho: f64) -> f64 {
+    assert!(i < weights.len());
+    assert!(rho > 0.0 && mu > 0.0);
+    let total: f64 = weights.iter().sum();
+    rate * weights[i] / total * mu / rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guaranteed_share_matches_formula() {
+        // 100 Gbps, weights 4:1, mu=0.8, rho=1.6 -> 100 * 0.8 * 0.5 = 40.
+        let g = guaranteed_share(100.0, &[4.0, 1.0], 0, 0.8, 1.6);
+        assert!((g - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guaranteed_share_inverse_in_rho() {
+        let g1 = guaranteed_share(1.0, &[1.0, 1.0], 0, 0.8, 1.4);
+        let g2 = guaranteed_share(1.0, &[1.0, 1.0], 0, 0.8, 2.8);
+        assert!((g1 / g2 - 2.0).abs() < 1e-9);
+    }
+}

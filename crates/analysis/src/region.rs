@@ -1,0 +1,238 @@
+//! Admissible regions and SLO-driven share selection.
+//!
+//! Lemma 1 defines the *admissible region* (Eq. 3) as the set of QoS-mixes
+//! where no higher class has a worse delay bound than a lower class. This
+//! module computes the region boundary for 2 QoS classes in closed form and
+//! for N classes via the fluid model, and answers the operator question the
+//! paper's open-source simulator was built for: *given an SLO, how much
+//! traffic can be admitted at a QoS level?* (§6.3: "to figure out the
+//! maximal admissible traffic associated with a given SLO").
+
+use crate::fluid::{fluid_delays, FluidSpec};
+use crate::two_qos::TwoQosParams;
+
+/// Whether the QoS-mix `shares` produces no priority inversion (Eq. 3):
+/// each class's delay bound is at most the next lower class's.
+pub fn inversion_free(weights: &[f64], shares: &[f64], mu: f64, rho: f64) -> bool {
+    let spec = FluidSpec {
+        weights: weights.to_vec(),
+        shares: shares.to_vec(),
+        mu,
+        rho,
+    };
+    let d = fluid_delays(&spec);
+    d.windows(2).all(|w| w[0] <= w[1] + 1e-9)
+}
+
+/// The 2-QoS admissible region boundary in closed form (Lemma 1): priority
+/// inversion begins once QoSₕ-share exceeds `φ/(φ+1)` in the regime where
+/// both classes exceed their guaranteed rates. Below that regime the
+/// constraint is vacuous (QoSₕ has zero delay); the returned value is the
+/// largest inversion-free QoSₕ-share.
+pub fn admissible_region_2qos(p: TwoQosParams) -> f64 {
+    p.validate_pub();
+    p.phi / (p.phi + 1.0)
+}
+
+/// The largest class-`i` share for which the class's worst-case normalized
+/// delay stays within `slo` (normalized to the period), holding the *other*
+/// classes' relative proportions fixed at `rest_proportions`.
+///
+/// This is the curve an operator reads off Fig. 8/9 to pick SLOs: it scans
+/// the share axis with the fluid model and returns the crossover.
+pub fn admissible_share_for_slo(
+    weights: &[f64],
+    class: usize,
+    rest_proportions: &[f64],
+    mu: f64,
+    rho: f64,
+    slo: f64,
+) -> f64 {
+    assert_eq!(weights.len(), rest_proportions.len() + 1);
+    let rest_total: f64 = rest_proportions.iter().sum();
+    assert!(rest_total > 0.0);
+
+    let delay_at = |x: f64| -> f64 {
+        let mut shares = Vec::with_capacity(weights.len());
+        let mut rest_iter = rest_proportions.iter();
+        for c in 0..weights.len() {
+            if c == class {
+                shares.push(x);
+            } else {
+                shares.push((1.0 - x) * rest_iter.next().unwrap() / rest_total);
+            }
+        }
+        let spec = FluidSpec {
+            weights: weights.to_vec(),
+            shares,
+            mu,
+            rho,
+        };
+        fluid_delays(&spec)[class]
+    };
+
+    // Delay is nondecreasing in own share on (0, 1) up to the point where it
+    // saturates; binary-search the first share whose delay exceeds the SLO.
+    let (mut lo, mut hi) = (1e-6, 1.0 - 1e-6);
+    if delay_at(lo) > slo {
+        return 0.0;
+    }
+    if delay_at(hi) <= slo {
+        return 1.0;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if delay_at(mid) <= slo {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl TwoQosParams {
+    /// Public validation hook used by the region computations.
+    pub(crate) fn validate_pub(&self) {
+        assert!(self.phi > 0.0 && self.mu > 0.0 && self.mu <= 1.0 && self.rho >= self.mu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_boundary_matches_lemma1() {
+        let p = TwoQosParams {
+            phi: 4.0,
+            mu: 0.8,
+            rho: 1.4,
+        };
+        assert!((admissible_region_2qos(p) - 0.8).abs() < 1e-12);
+        // Inversion-free just below, inverted just above (both classes
+        // overloaded at these shares for rho=1.4).
+        assert!(inversion_free(&[4.0, 1.0], &[0.78, 0.22], 0.8, 1.4));
+        assert!(!inversion_free(&[4.0, 1.0], &[0.82, 0.18], 0.8, 1.4));
+    }
+
+    #[test]
+    fn bigger_weight_moves_boundary_right() {
+        // Fig. 9's observation: raising QoSh's weight from 8 to 50 moves the
+        // inversion point right.
+        let shares = |x: f64| vec![x, (1.0 - x) * 2.0 / 3.0, (1.0 - x) / 3.0];
+        let mu = 0.8;
+        let rho = 1.4;
+        let boundary = |weights: &[f64]| {
+            let mut x = 0.01;
+            while x < 0.99 {
+                if !inversion_free(weights, &shares(x), mu, rho) {
+                    return x;
+                }
+                x += 0.01;
+            }
+            1.0
+        };
+        let b8 = boundary(&[8.0, 4.0, 1.0]);
+        let b50 = boundary(&[50.0, 4.0, 1.0]);
+        assert!(
+            b50 > b8 + 0.05,
+            "weight 50 boundary {b50} should exceed weight 8 boundary {b8}"
+        );
+    }
+
+    #[test]
+    fn share_for_zero_slo_is_zero_delay_region() {
+        // With SLO=0 the admissible share equals the zero-delay boundary
+        // phi/(phi+1)/rho.
+        let x = admissible_share_for_slo(&[4.0, 1.0], 0, &[1.0], 0.8, 1.2, 0.0);
+        let want = 4.0 / 5.0 / 1.2;
+        assert!((x - want).abs() < 1e-4, "{x} vs {want}");
+    }
+
+    #[test]
+    fn share_grows_with_slo() {
+        let w = [8.0, 4.0, 1.0];
+        let rest = [2.0, 1.0];
+        let x1 = admissible_share_for_slo(&w, 0, &rest, 0.8, 1.4, 0.01);
+        let x2 = admissible_share_for_slo(&w, 0, &rest, 0.8, 1.4, 0.10);
+        assert!(x2 > x1, "{x2} vs {x1}");
+    }
+
+    #[test]
+    fn loose_slo_admits_everything() {
+        // An SLO above the worst-case total delay admits 100%.
+        let x = admissible_share_for_slo(&[4.0, 1.0], 0, &[1.0], 0.8, 1.2, 1.0);
+        assert_eq!(x, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod lemma2_tests {
+    use crate::fluid::{fluid_delays, FluidSpec};
+
+    /// Lemma 2 via the fluid model: the zero-delay share boundary for QoSh
+    /// approaches 1/rho from below as the weight grows, and never crosses it.
+    #[test]
+    fn zero_delay_region_saturates_at_inverse_rho() {
+        let mu = 0.8;
+        let rho = 1.6;
+        let boundary = |phi: f64| {
+            let mut lo = 0.0;
+            let mut hi = 1.0;
+            for _ in 0..30 {
+                let mid = 0.5 * (lo + hi);
+                let d = fluid_delays(&FluidSpec {
+                    weights: vec![phi, 1.0],
+                    shares: vec![mid, 1.0 - mid],
+                    mu,
+                    rho,
+                });
+                if d[0] <= 1e-9 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        let b4 = boundary(4.0);
+        let b64 = boundary(64.0);
+        let b1024 = boundary(1024.0);
+        assert!(b4 < b64 && b64 < b1024, "{b4} {b64} {b1024}");
+        let limit = 1.0 / rho;
+        assert!(b1024 < limit + 1e-6);
+        assert!(
+            limit - b1024 < 0.01,
+            "boundary {b1024} should approach 1/rho = {limit}"
+        );
+    }
+
+    /// Past 1/rho no weight can drive the delay to zero: as the weight
+    /// grows the delay converges to the Eq. 4 limit μ(x − 1/ρ) and stays
+    /// strictly positive — only admission control can help (Lemma 2).
+    #[test]
+    fn beyond_inverse_rho_only_admission_control_helps() {
+        let mu = 0.8;
+        let rho = 1.6;
+        let x = 0.75; // > 1/rho = 0.625
+        let d = |phi: f64| {
+            fluid_delays(&FluidSpec {
+                weights: vec![phi, 1.0],
+                shares: vec![x, 1.0 - x],
+                mu,
+                rho,
+            })[0]
+        };
+        let limit = crate::two_qos::delay_h_infinite_weight(mu, rho, x);
+        assert!(limit > 0.0);
+        let d800 = d(800.0);
+        let d8000 = d(8000.0);
+        assert!(
+            (d800 - limit).abs() < 5e-3 && (d8000 - limit).abs() < 5e-4,
+            "delay should converge to the Eq. 4 limit {limit}: {d800}, {d8000}"
+        );
+        // Even an absurd weight cannot push it below the limit.
+        assert!(d8000 >= limit - 1e-9);
+    }
+}

@@ -1,0 +1,465 @@
+//! Homa (Montazeri et al., SIGCOMM 2018): receiver-driven transport with
+//! in-network SRPT priorities.
+//!
+//! Decision logic reproduced:
+//!
+//! * senders blast the first RTT of a message **unscheduled** at a priority
+//!   chosen from the message's size (smaller → higher priority);
+//! * receivers **grant** the rest one packet per received packet, assigning
+//!   scheduled priorities by SRPT rank among their active incoming messages;
+//! * the fabric is strict priority with 8 levels (grants/ACKs ride the top).
+//!
+//! Homa's SLO-blindness — small RPCs always win regardless of application
+//! priority — is the property the paper's Fig. 22 comparison highlights.
+//! Loss recovery is go-back-N from the receiver's cumulative received count
+//! (grants carry it), which is sufficient at the simulated buffer sizes.
+
+use crate::workgen::WorkloadGen;
+use crate::BaselineCompletion;
+use aequitas_netsim::{
+    EngineConfig, FlowKey, HostAgent, HostCtx, HostId, Packet, PacketKind, SchedulerKind,
+};
+use aequitas_sim_core::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+const ARRIVAL_TIMER: u64 = 1;
+const RETX_TIMER: u64 = 2;
+
+const CTRL_GRANT: u8 = 1;
+const CTRL_DONE: u8 = 2;
+
+/// Fabric levels Homa uses.
+pub const HOMA_PRIORITIES: usize = 8;
+
+/// Packets of the first RTT sent without a grant.
+pub const UNSCHEDULED_SEGS: u32 = 4;
+
+/// Receiver grant overcommit: only this many incoming messages hold active
+/// grants at a time (SRPT order); the rest are paused. This is Homa's
+/// bounded-overcommit scheduling and the mechanism behind its large-message
+/// starvation under sustained load.
+pub const GRANT_OVERCOMMIT: usize = 4;
+
+/// Fabric configuration: 8-level strict priority.
+pub fn engine_config() -> EngineConfig {
+    EngineConfig {
+        switch_scheduler: SchedulerKind::Spq(HOMA_PRIORITIES),
+        host_scheduler: SchedulerKind::Spq(HOMA_PRIORITIES),
+        switch_buffer_bytes: Some(2 << 20),
+        host_buffer_bytes: Some(2 << 20),
+        classes: HOMA_PRIORITIES,
+    loss_probability: 0.0,
+        loss_seed: 0,
+    }
+}
+
+/// Unscheduled priority from message size (class 0 reserved for control).
+fn unscheduled_priority(total_segs: u32) -> u8 {
+    match total_segs {
+        0..=1 => 1,
+        2..=4 => 2,
+        5..=16 => 3,
+        _ => 4,
+    }
+}
+
+struct OutHoma {
+    dst: HostId,
+    qos: u8, // original bijective class, for scoring only
+    priority: aequitas_workloads::Priority,
+    size_bytes: u64,
+    total_segs: u32,
+    sent_upto: u32,    // next unsent seq
+    granted_upto: u32, // exclusive grant limit
+    confirmed: u32,    // receiver's cumulative received count
+    sched_prio: u8,
+    issued_at: SimTime,
+    last_progress: SimTime,
+}
+
+struct InHoma {
+    total_segs: u32,
+    received: HashSet<u32>,
+    granted_upto: u32,
+    remaining_segs: u32,
+}
+
+/// A Homa host.
+pub struct HomaHost {
+    host: HostId,
+    gen: Option<WorkloadGen>,
+    pending_arrival: Option<(SimTime, crate::workgen::NextRpc)>,
+    out: HashMap<u64, OutHoma>,
+    inc: HashMap<(usize, u64), InHoma>,
+    mtu: u64,
+    rto: SimDuration,
+    next_msg_id: u64,
+    next_packet_id: u64,
+    completions: Vec<BaselineCompletion>,
+    retx_armed: bool,
+}
+
+impl HomaHost {
+    /// Create a host.
+    pub fn new(host: HostId, gen: Option<WorkloadGen>) -> Self {
+        HomaHost {
+            host,
+            gen,
+            pending_arrival: None,
+            out: HashMap::new(),
+            inc: HashMap::new(),
+            mtu: 4096,
+            rto: SimDuration::from_us(500),
+            next_msg_id: (host.0 as u64) << 32,
+            next_packet_id: (host.0 as u64) << 40,
+            completions: Vec::new(),
+            retx_armed: false,
+        }
+    }
+
+    /// Completions so far.
+    pub fn completions(&self) -> &[BaselineCompletion] {
+        &self.completions
+    }
+
+    fn pkt_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    fn send_data(&mut self, ctx: &mut HostCtx, msg_id: u64, seq: u32, prio: u8) {
+        let id = self.pkt_id();
+        let m = self.out.get_mut(&msg_id).expect("message exists");
+        let pkt = Packet {
+            id,
+            flow: FlowKey {
+                src: ctx.host(),
+                dst: m.dst,
+                class: prio,
+            },
+            size_bytes: {
+                let total = m.total_segs;
+                let sz = if seq + 1 < total {
+                    4096
+                } else {
+                    (m.size_bytes - (total as u64 - 1) * 4096).max(1) as u32
+                };
+                sz + aequitas_netsim::packet::HEADER_BYTES
+            },
+            kind: PacketKind::Data {
+                msg_id,
+                seq,
+                is_last: seq + 1 == m.total_segs,
+            },
+            sent_at: ctx.now(),
+            // Data packets carry the message's total segment count so the
+            // receiver can size its grant state (Homa's header field).
+            rank: m.total_segs as u64,
+        };
+        ctx.send(pkt);
+    }
+
+    fn schedule_arrival(&mut self, ctx: &mut HostCtx) {
+        if self.pending_arrival.is_some() {
+            return;
+        }
+        if let Some(gen) = self.gen.as_mut() {
+            if let Some(rpc) = gen.next_rpc() {
+                let at = rpc.at.max(ctx.now());
+                self.pending_arrival = Some((at, rpc));
+                ctx.set_timer(at, ARRIVAL_TIMER);
+            }
+        }
+    }
+
+    fn fire_arrival(&mut self, ctx: &mut HostCtx) {
+        if let Some((at, rpc)) = self.pending_arrival {
+            if at <= ctx.now() {
+                self.pending_arrival = None;
+                let id = self.next_msg_id;
+                self.next_msg_id += 1;
+                let total = rpc.size_bytes.div_ceil(self.mtu).max(1) as u32;
+                let uns = unscheduled_priority(total);
+                self.out.insert(
+                    id,
+                    OutHoma {
+                        dst: HostId(rpc.dst),
+                        qos: rpc.qos,
+                        priority: rpc.priority,
+                        size_bytes: rpc.size_bytes,
+                        total_segs: total,
+                        sent_upto: 0,
+                        granted_upto: total.min(UNSCHEDULED_SEGS),
+                        confirmed: 0,
+                        sched_prio: uns,
+                        issued_at: ctx.now(),
+                        last_progress: ctx.now(),
+                    },
+                );
+                // Blast the unscheduled window.
+                let first = total.min(UNSCHEDULED_SEGS);
+                for seq in 0..first {
+                    self.send_data(ctx, id, seq, uns);
+                }
+                if let Some(m) = self.out.get_mut(&id) {
+                    m.sent_upto = first;
+                }
+                self.schedule_arrival(ctx);
+            }
+        }
+        self.arm_retx(ctx);
+    }
+
+    /// Receiver grant scheduler: rank incoming messages by remaining size
+    /// and keep exactly the top [`GRANT_OVERCOMMIT`] granted one window
+    /// ahead of what has arrived. Paused messages receive no grants until
+    /// they enter the top set.
+    fn regrant(&mut self, ctx: &mut HostCtx) {
+        let mut order: Vec<((usize, u64), u32, u32, u32)> = self
+            .inc
+            .iter()
+            .map(|(&k, m)| (k, m.remaining_segs, m.received.len() as u32, m.total_segs))
+            .collect();
+        order.sort_by_key(|&(k, remaining, _, _)| (remaining, k));
+        for (rank, &(key, remaining, received, total)) in
+            order.iter().take(GRANT_OVERCOMMIT).enumerate()
+        {
+            let prio = (1 + rank.min(HOMA_PRIORITIES - 2)) as u8;
+            let target = (received + UNSCHEDULED_SEGS).min(total);
+            let entry = self.inc.get_mut(&key).expect("ranked message exists");
+            if target > entry.granted_upto {
+                entry.granted_upto = target;
+                let _ = remaining;
+                let id = self.pkt_id();
+                ctx.send(Packet {
+                    id,
+                    flow: FlowKey {
+                        src: self.host,
+                        dst: aequitas_netsim::HostId(key.0),
+                        class: 0,
+                    },
+                    size_bytes: aequitas_netsim::packet::ACK_BYTES,
+                    kind: PacketKind::Ctrl {
+                        kind: CTRL_GRANT,
+                        a: key.1,
+                        b: target as u64 | (prio as u64) << 16 | (received as u64) << 32,
+                    },
+                    sent_at: ctx.now(),
+                    rank: 0,
+                });
+            }
+        }
+    }
+
+    fn arm_retx(&mut self, ctx: &mut HostCtx) {
+        if !self.retx_armed && !self.out.is_empty() {
+            self.retx_armed = true;
+            ctx.set_timer(ctx.now() + self.rto / 2, RETX_TIMER);
+        }
+    }
+}
+
+impl HostAgent for HomaHost {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.schedule_arrival(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+        let now = ctx.now();
+        match pkt.kind {
+            PacketKind::Data { msg_id, seq, .. } => {
+                let key = (pkt.src().0, msg_id);
+                let total = pkt.rank as u32;
+                let entry = self.inc.entry(key).or_insert_with(|| InHoma {
+                    total_segs: total,
+                    received: HashSet::new(),
+                    granted_upto: total.min(UNSCHEDULED_SEGS),
+                    remaining_segs: total,
+                });
+                if entry.received.insert(seq) {
+                    entry.remaining_segs = entry.total_segs - entry.received.len() as u32;
+                }
+                let done = entry.remaining_segs == 0;
+                let received_count = entry.received.len() as u32;
+                if done {
+                    self.inc.remove(&key);
+                    let id = self.pkt_id();
+                    ctx.send(Packet {
+                        id,
+                        flow: FlowKey {
+                            src: self.host,
+                            dst: pkt.src(),
+                            class: 0,
+                        },
+                        size_bytes: aequitas_netsim::packet::ACK_BYTES,
+                        kind: PacketKind::Ctrl {
+                            kind: CTRL_DONE,
+                            a: msg_id,
+                            b: received_count as u64,
+                        },
+                        sent_at: now,
+                        rank: 0,
+                    });
+                }
+                // Re-run the receiver's SRPT grant scheduler: only the
+                // top-K (overcommit) messages hold grants; the rest pause.
+                self.regrant(ctx);
+            }
+            PacketKind::Ctrl { kind, a, b } => match kind {
+                CTRL_GRANT => {
+                    let granted = (b & 0xFFFF) as u32;
+                    let prio = ((b >> 16) & 0xFF) as u8;
+                    let confirmed = (b >> 32) as u32;
+                    let (to_send, sp) = {
+                        let Some(m) = self.out.get_mut(&a) else {
+                            return;
+                        };
+                        m.granted_upto = m.granted_upto.max(granted);
+                        m.sched_prio = prio.clamp(1, (HOMA_PRIORITIES - 1) as u8);
+                        m.confirmed = m.confirmed.max(confirmed);
+                        m.last_progress = now;
+                        let from = m.sent_upto;
+                        let to = m.granted_upto.min(m.total_segs);
+                        m.sent_upto = m.sent_upto.max(to);
+                        ((from..to).collect::<Vec<u32>>(), m.sched_prio)
+                    };
+                    for seq in to_send {
+                        self.send_data(ctx, a, seq, sp);
+                    }
+                }
+                CTRL_DONE => {
+                    if let Some(m) = self.out.remove(&a) {
+                        self.completions.push(BaselineCompletion {
+                            priority: m.priority,
+                            qos: m.qos,
+                            size_bytes: m.size_bytes,
+                            issued_at: m.issued_at,
+                            completed_at: now,
+                            terminated: false,
+                        });
+                    }
+                }
+                _ => {}
+            },
+            PacketKind::Ack { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        match token {
+            ARRIVAL_TIMER => self.fire_arrival(ctx),
+            RETX_TIMER => {
+                self.retx_armed = false;
+                let now = ctx.now();
+                // Go-back-N: any message with no progress for an RTO resends
+                // everything past the receiver's confirmed count.
+                let stalled: Vec<u64> = self
+                    .out
+                    .iter()
+                    .filter(|(_, m)| {
+                        now.saturating_since(m.last_progress) >= self.rto
+                            && m.sent_upto >= m.granted_upto.min(m.total_segs)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                let mut stalled = stalled;
+                stalled.sort_unstable();
+                for id in stalled {
+                    let (from, to, prio) = {
+                        let m = self.out.get_mut(&id).expect("msg exists");
+                        m.last_progress = now;
+                        (m.confirmed, m.sent_upto.min(m.granted_upto), m.sched_prio)
+                    };
+                    for seq in from..to {
+                        self.send_data(ctx, id, seq, prio);
+                    }
+                }
+                self.arm_retx(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequitas_netsim::{Engine, LinkSpec, Topology};
+    use aequitas_sim_core::BitRate;
+    use aequitas_workloads::{ArrivalProcess, Priority, SizeDist, TrafficPattern};
+
+    fn gen(src: usize, n: usize, load: f64, sizes: SizeDist, stop_ms: u64, seed: u64) -> WorkloadGen {
+        WorkloadGen::new(
+            ArrivalProcess::Poisson { load },
+            TrafficPattern::ManyToOne { dst: n - 1 },
+            vec![(Priority::PerformanceCritical, 1.0, sizes)],
+            src,
+            n,
+            BitRate::from_gbps(100),
+            Some(SimTime::from_ms(stop_ms)),
+            seed,
+        )
+    }
+
+    #[test]
+    fn completes_messages_of_all_sizes() {
+        let sizes = SizeDist::Empirical(vec![(1_000, 0.4), (32_768, 0.4), (300_000, 0.2)]);
+        let topo = Topology::star(3, LinkSpec::default_100g());
+        let agents = vec![
+            HomaHost::new(HostId(0), Some(gen(0, 3, 0.4, sizes.clone(), 3, 1))),
+            HomaHost::new(HostId(1), Some(gen(1, 3, 0.4, sizes, 3, 2))),
+            HomaHost::new(HostId(2), None),
+        ];
+        let mut eng = Engine::new(topo, agents, engine_config());
+        eng.run_until(SimTime::from_ms(50));
+        let done: usize = (0..2).map(|h| eng.agents()[h].completions().len()).sum();
+        assert!(done > 100, "only {done} completions");
+        for h in 0..2 {
+            assert!(
+                eng.agents()[h].out.is_empty(),
+                "host {h} has {} stuck messages",
+                eng.agents()[h].out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn small_messages_finish_fast_under_overload() {
+        // SRPT signature: tiny RPCs stay fast even when the port is swamped
+        // by large transfers.
+        let sizes = SizeDist::Empirical(vec![(4_096, 0.5), (500_000, 0.5)]);
+        let topo = Topology::star(4, LinkSpec::default_100g());
+        let agents = vec![
+            HomaHost::new(HostId(0), Some(gen(0, 4, 0.6, sizes.clone(), 5, 3))),
+            HomaHost::new(HostId(1), Some(gen(1, 4, 0.6, sizes.clone(), 5, 4))),
+            HomaHost::new(HostId(2), Some(gen(2, 4, 0.6, sizes, 5, 5))),
+            HomaHost::new(HostId(3), None),
+        ];
+        let mut eng = Engine::new(topo, agents, engine_config());
+        eng.run_until(SimTime::from_ms(60));
+        let mut small: Vec<f64> = Vec::new();
+        for h in 0..3 {
+            for c in eng.agents()[h].completions() {
+                if c.size_bytes <= 4_096 {
+                    small.push(c.latency().as_us_f64());
+                }
+            }
+        }
+        assert!(small.len() > 30);
+        small.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = small[small.len() / 2];
+        assert!(
+            med < 30.0,
+            "median small-RPC latency {med} us under 1.8x overload"
+        );
+    }
+
+    #[test]
+    fn unscheduled_priority_buckets() {
+        assert_eq!(unscheduled_priority(1), 1);
+        assert_eq!(unscheduled_priority(4), 2);
+        assert_eq!(unscheduled_priority(10), 3);
+        assert_eq!(unscheduled_priority(1000), 4);
+    }
+}

@@ -1,0 +1,355 @@
+//! QJump (Grosvenor et al., NSDI 2015).
+//!
+//! Decision logic reproduced: each priority level is **rate-limited at the
+//! host** to a share of the line rate chosen so that, network-wide, a level's
+//! aggregate can never exceed capacity (higher levels get lower throughput
+//! caps but bounded latency); the fabric runs strict priority. QJump is
+//! packet-level and SLO-unaware: it cannot adapt the admitted mix when an
+//! application offers more than its throttle, which is what the paper's
+//! comparison (Fig. 22) exercises.
+
+use crate::reliable::{ack_packet, OutMsg};
+use crate::workgen::WorkloadGen;
+use crate::BaselineCompletion;
+use aequitas_netsim::{EngineConfig, HostAgent, HostCtx, HostId, Packet, PacketKind, SchedulerKind};
+use aequitas_sim_core::{BitRate, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+const ARRIVAL_TIMER: u64 = 1;
+const RETX_TIMER: u64 = 2;
+const PACE_TIMER_BASE: u64 = 16;
+
+/// Fabric configuration for QJump: strict priority queues.
+pub fn engine_config() -> EngineConfig {
+    EngineConfig {
+        switch_scheduler: SchedulerKind::Spq(3),
+        host_scheduler: SchedulerKind::Spq(3),
+        switch_buffer_bytes: Some(2 << 20),
+        host_buffer_bytes: Some(2 << 20),
+        classes: 3,
+    loss_probability: 0.0,
+        loss_seed: 0,
+    }
+}
+
+/// Per-class throughput factors (fraction of line rate each class's host
+/// sender may use). The highest class gets the strongest throttle — QJump's
+/// latency-vs-throughput epoch tradeoff; the lowest is unthrottled.
+pub const DEFAULT_RATE_FACTORS: [f64; 3] = [0.30, 0.50, 1.0];
+
+struct ClassQueue {
+    /// FIFO of (msg_id) with unsent segments.
+    queue: VecDeque<u64>,
+    /// Token-bucket state: time the next packet may leave.
+    next_allowed: SimTime,
+    rate: BitRate,
+    paced: bool,
+}
+
+/// A QJump host.
+pub struct QjumpHost {
+    host: HostId,
+    gen: Option<WorkloadGen>,
+    pending_arrival: Option<(SimTime, crate::workgen::NextRpc)>,
+    msgs: HashMap<u64, OutMsg>,
+    classes: Vec<ClassQueue>,
+    rto: SimDuration,
+    mtu: u64,
+    next_msg_id: u64,
+    next_packet_id: u64,
+    completions: Vec<BaselineCompletion>,
+    retx_armed: bool,
+}
+
+impl QjumpHost {
+    /// Create a host with the default per-class throttles.
+    pub fn new(host: HostId, gen: Option<WorkloadGen>, line_rate: BitRate) -> Self {
+        let classes = DEFAULT_RATE_FACTORS
+            .iter()
+            .map(|&f| ClassQueue {
+                queue: VecDeque::new(),
+                next_allowed: SimTime::ZERO,
+                rate: line_rate.mul_f64(f),
+                paced: false,
+            })
+            .collect();
+        QjumpHost {
+            host,
+            gen,
+            pending_arrival: None,
+            msgs: HashMap::new(),
+            classes,
+            rto: SimDuration::from_us(500),
+            mtu: 4096,
+            next_msg_id: (host.0 as u64) << 32,
+            next_packet_id: (host.0 as u64) << 40,
+            completions: Vec::new(),
+            retx_armed: false,
+        }
+    }
+
+    /// Completions collected so far.
+    pub fn completions(&self) -> &[BaselineCompletion] {
+        &self.completions
+    }
+
+    fn schedule_arrival(&mut self, ctx: &mut HostCtx) {
+        if self.pending_arrival.is_some() {
+            return;
+        }
+        if let Some(gen) = self.gen.as_mut() {
+            if let Some(rpc) = gen.next_rpc() {
+                let at = rpc.at.max(ctx.now());
+                self.pending_arrival = Some((at, rpc));
+                ctx.set_timer(at, ARRIVAL_TIMER);
+            }
+        }
+    }
+
+    fn fire_arrival(&mut self, ctx: &mut HostCtx) {
+        if let Some((at, rpc)) = self.pending_arrival {
+            if at <= ctx.now() {
+                self.pending_arrival = None;
+                let id = self.next_msg_id;
+                self.next_msg_id += 1;
+                self.msgs.insert(
+                    id,
+                    OutMsg::new(
+                        id,
+                        HostId(rpc.dst),
+                        rpc.qos,
+                        rpc.priority,
+                        rpc.size_bytes,
+                        self.mtu,
+                        ctx.now(),
+                        None,
+                    ),
+                );
+                self.classes[rpc.qos as usize].queue.push_back(id);
+                self.schedule_arrival(ctx);
+            }
+        }
+        for c in 0..self.classes.len() {
+            self.pump_class(ctx, c);
+        }
+        self.arm_retx(ctx);
+    }
+
+    /// Send the next segment of class `c` if the rate limiter allows.
+    fn pump_class(&mut self, ctx: &mut HostCtx, c: usize) {
+        loop {
+            let now = ctx.now();
+            // Drop finished/fully-sent heads.
+            while let Some(&head) = self.classes[c].queue.front() {
+                match self.msgs.get(&head) {
+                    Some(m) if !m.fully_sent() => break,
+                    _ => {
+                        self.classes[c].queue.pop_front();
+                    }
+                }
+            }
+            let Some(&head) = self.classes[c].queue.front() else {
+                return;
+            };
+            if now < self.classes[c].next_allowed {
+                if !self.classes[c].paced {
+                    self.classes[c].paced = true;
+                    ctx.set_timer(self.classes[c].next_allowed, PACE_TIMER_BASE + c as u64);
+                }
+                return;
+            }
+            let pkt_id = self.next_packet_id;
+            self.next_packet_id += 1;
+            let msg = self.msgs.get_mut(&head).expect("head exists");
+            let seq = msg.next_seg;
+            let pkt = msg.data_packet(pkt_id, seq, 0, now, self.host);
+            msg.mark_sent(seq, now);
+            let wire = pkt.size_bytes as u64;
+            ctx.send(pkt);
+            // Advance the token clock by this packet's time at the class rate.
+            let gap = self.classes[c].rate.serialize_time(wire);
+            self.classes[c].next_allowed = now + gap;
+        }
+    }
+
+    fn arm_retx(&mut self, ctx: &mut HostCtx) {
+        if !self.retx_armed && !self.msgs.is_empty() {
+            self.retx_armed = true;
+            ctx.set_timer(ctx.now() + self.rto / 2, RETX_TIMER);
+        }
+    }
+}
+
+impl HostAgent for QjumpHost {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.schedule_arrival(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data { .. } => {
+                let id = self.next_packet_id;
+                self.next_packet_id += 1;
+                ctx.send(ack_packet(self.host, &pkt, id, ctx.now()));
+            }
+            PacketKind::Ack { msg_id, seq, .. } => {
+                if let Some(msg) = self.msgs.get_mut(&msg_id) {
+                    msg.on_ack(seq);
+                    if msg.done() {
+                        let done = self.msgs.remove(&msg_id).expect("msg exists");
+                        self.completions.push(done.completion(ctx.now(), false));
+                    }
+                }
+            }
+            PacketKind::Ctrl { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        match token {
+            ARRIVAL_TIMER => self.fire_arrival(ctx),
+            RETX_TIMER => {
+                self.retx_armed = false;
+                let now = ctx.now();
+                let mut resend: Vec<(usize, u64, u32)> = Vec::new();
+                for (&id, msg) in &self.msgs {
+                    for seq in msg.expired(now, self.rto) {
+                        resend.push((msg.qos as usize, id, seq));
+                    }
+                }
+                resend.sort_unstable();
+                for (c, id, seq) in resend {
+                    // Retransmissions respect the class rate limit too:
+                    // requeue at the front by sending directly when allowed.
+                    if now >= self.classes[c].next_allowed {
+                        let pkt_id = self.next_packet_id;
+                        self.next_packet_id += 1;
+                        let msg = self.msgs.get_mut(&id).expect("msg exists");
+                        let pkt = msg.data_packet(pkt_id, seq, 0, now, self.host);
+                        msg.mark_sent(seq, now);
+                        let wire = pkt.size_bytes as u64;
+                        ctx.send(pkt);
+                        let gap = self.classes[c].rate.serialize_time(wire);
+                        self.classes[c].next_allowed = now + gap;
+                    }
+                }
+                self.arm_retx(ctx);
+            }
+            t if t >= PACE_TIMER_BASE => {
+                let c = (t - PACE_TIMER_BASE) as usize;
+                if c < self.classes.len() {
+                    self.classes[c].paced = false;
+                    self.pump_class(ctx, c);
+                }
+                self.arm_retx(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequitas_netsim::{Engine, LinkSpec, Topology};
+    use aequitas_workloads::{ArrivalProcess, Priority, SizeDist, TrafficPattern};
+
+    fn rate() -> BitRate {
+        BitRate::from_gbps(100)
+    }
+
+    fn gen(src: usize, n: usize, load: f64, prio: Priority, stop_ms: u64, seed: u64) -> WorkloadGen {
+        WorkloadGen::new(
+            ArrivalProcess::Poisson { load },
+            TrafficPattern::ManyToOne { dst: n - 1 },
+            vec![(prio, 1.0, SizeDist::Fixed(32_768))],
+            src,
+            n,
+            rate(),
+            Some(SimTime::from_ms(stop_ms)),
+            seed,
+        )
+    }
+
+    #[test]
+    fn rate_limit_caps_high_class_throughput() {
+        // A single sender offering 0.9 load of PC traffic: QJump throttles
+        // class 0 to 30% of line rate, so completions accrue at ~30 Gbps.
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![
+            QjumpHost::new(
+                HostId(0),
+                Some(gen(0, 2, 0.9, Priority::PerformanceCritical, 10, 1)),
+                rate(),
+            ),
+            QjumpHost::new(HostId(1), None, rate()),
+        ];
+        let mut eng = Engine::new(topo, agents, engine_config());
+        eng.run_until(SimTime::from_ms(10));
+        let bytes: u64 = eng.agents()[0]
+            .completions()
+            .iter()
+            .map(|c| c.size_bytes)
+            .sum();
+        let gbps = bytes as f64 * 8.0 / 0.01 / 1e9;
+        assert!(
+            (20.0..36.0).contains(&gbps),
+            "class-0 goodput {gbps} Gbps, expected ~30"
+        );
+    }
+
+    #[test]
+    fn low_class_unthrottled_when_alone() {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![
+            QjumpHost::new(
+                HostId(0),
+                Some(gen(0, 2, 0.8, Priority::BestEffort, 10, 2)),
+                rate(),
+            ),
+            QjumpHost::new(HostId(1), None, rate()),
+        ];
+        let mut eng = Engine::new(topo, agents, engine_config());
+        eng.run_until(SimTime::from_ms(12));
+        let bytes: u64 = eng.agents()[0]
+            .completions()
+            .iter()
+            .map(|c| c.size_bytes)
+            .sum();
+        let gbps = bytes as f64 * 8.0 / 0.012 / 1e9;
+        assert!(gbps > 55.0, "BE goodput {gbps} Gbps, expected ~80x0.8");
+    }
+
+    #[test]
+    fn throttled_class_has_low_latency_for_admitted_packets() {
+        // Two hosts each sending PC at 15% load (half the 30% throttle, so
+        // the token bucket itself runs at moderate utilization): the network
+        // can never congest on class 0 and latencies stay near-serial.
+        let topo = Topology::star(3, LinkSpec::default_100g());
+        let agents = vec![
+            QjumpHost::new(
+                HostId(0),
+                Some(gen(0, 3, 0.15, Priority::PerformanceCritical, 10, 3)),
+                rate(),
+            ),
+            QjumpHost::new(
+                HostId(1),
+                Some(gen(1, 3, 0.15, Priority::PerformanceCritical, 10, 4)),
+                rate(),
+            ),
+            QjumpHost::new(HostId(2), None, rate()),
+        ];
+        let mut eng = Engine::new(topo, agents, engine_config());
+        eng.run_until(SimTime::from_ms(15));
+        let mut lats: Vec<f64> = eng.agents()[0]
+            .completions()
+            .iter()
+            .map(|c| c.latency().as_us_f64())
+            .collect();
+        assert!(lats.len() > 100);
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = lats[(lats.len() as f64 * 0.99) as usize];
+        // 32 KB at 30 Gbps pacing ~= 8.7 us + RTT; allow generous slack.
+        assert!(p99 < 60.0, "in-profile QJump p99 latency {p99} us");
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablations of Algorithm 1's design choices (DESIGN.md Sec 5):
+//! size-scaled MD, the percentile-scaled increment window, QoS-downgrade
+//! versus drop, and the admit-probability floor.
+use aequitas_experiments::{ext, Scale};
+
+fn main() {
+    let scale = Scale::detect();
+    ext::print_ablation_md_size(&ext::ablation_md_size(scale));
+    ext::print_ablation_window(&ext::ablation_window(scale));
+    ext::print_ablation_drop(&ext::ablation_drop(scale));
+    ext::print_ablation_floor(&ext::ablation_floor(scale));
+}

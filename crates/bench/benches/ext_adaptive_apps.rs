@@ -1,0 +1,8 @@
+//! Extension: applications consuming the downgrade hint (the paper
+//! surfaces downgrades to apps "as a hint to adjust their RPC priorities").
+use aequitas_experiments::{ext, Scale};
+
+fn main() {
+    let r = ext::adaptive_apps(Scale::detect());
+    ext::print_adaptive(&r);
+}

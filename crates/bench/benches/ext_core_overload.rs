@@ -1,0 +1,8 @@
+//! Extension: overload at the oversubscribed spine — Aequitas restores the
+//! SLO with no knowledge of where the bottleneck is (Sec 3.1/3.2).
+use aequitas_experiments::{ext, Scale};
+
+fn main() {
+    let r = ext::core_overload(Scale::detect());
+    ext::print_core_overload(&r);
+}

@@ -1,0 +1,8 @@
+//! Extension (Sec 5.2): per-tenant rate guarantees via a centralized RPC
+//! quota server.
+use aequitas_experiments::{ext, Scale};
+
+fn main() {
+    let r = ext::quota(Scale::detect());
+    ext::print_quota(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 1: per-class RPC size distribution quantiles.
+use aequitas_experiments::sizes_fig;
+
+fn main() {
+    let rows = sizes_fig::fig01();
+    sizes_fig::print_fig01(&rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3: a congestion episode (load spike -> RNL spike).
+use aequitas_experiments::{production, Scale};
+
+fn main() {
+    let r = production::fig03(Scale::detect());
+    production::print_fig03(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figs. 4/5: priority/QoS misalignment and race-to-the-top.
+use aequitas_experiments::production;
+
+fn main() {
+    let r = production::fig04_05();
+    production::print_fig04_05(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8: closed-form 2-QoS worst-case delay curves.
+use aequitas_experiments::theory;
+
+fn main() {
+    let r = theory::fig08();
+    theory::print_fig08(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: 3-QoS worst-case delay under 8:4:1 and 50:4:1.
+use aequitas_experiments::theory;
+
+fn main() {
+    let r = theory::fig09();
+    theory::print_fig09(&r);
+}

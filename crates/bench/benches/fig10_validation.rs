@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: packet simulator vs closed-form theory.
+use aequitas_experiments::{theory, Scale};
+
+fn main() {
+    let r = theory::fig10(Scale::detect());
+    theory::print_fig10(&r);
+}

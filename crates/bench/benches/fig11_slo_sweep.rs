@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11: achieved 99.9p RNL tracks the configured SLO.
+use aequitas_experiments::{slo, Scale};
+
+fn main() {
+    let r = slo::fig11(Scale::detect());
+    slo::print_fig11(&r);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figs. 12 and 13: 33-node SLO compliance and outstanding
+//! RPCs.
+use aequitas_experiments::{slo, Scale};
+
+fn main() {
+    let mut r = slo::fig12(Scale::detect());
+    slo::print_fig12(&r);
+    slo::print_fig13(&mut r);
+}

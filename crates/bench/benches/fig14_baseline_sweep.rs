@@ -1,0 +1,7 @@
+//! Regenerates Fig. 14: baseline RNL vs input QoSh-share.
+use aequitas_experiments::{mix, Scale};
+
+fn main() {
+    let r = mix::fig14(Scale::detect());
+    mix::print_fig14(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 15: admitted QoS-mix converges to the target.
+use aequitas_experiments::{mix, Scale};
+
+fn main() {
+    let r = mix::fig15(Scale::detect());
+    mix::print_fig15(&r);
+}

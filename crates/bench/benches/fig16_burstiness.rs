@@ -1,0 +1,8 @@
+//! Regenerates Fig. 16: admitted share is inversely proportional to the
+//! burst load.
+use aequitas_experiments::{mix, Scale};
+
+fn main() {
+    let r = mix::fig16(Scale::detect());
+    mix::print_fig16(&r);
+}

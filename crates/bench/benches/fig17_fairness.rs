@@ -1,0 +1,17 @@
+//! Regenerates Figs. 17 and 18: fairness across RPC channels and max-min
+//! reclamation.
+use aequitas_experiments::{fairness, Scale};
+
+fn main() {
+    let scale = Scale::detect();
+    let r17 = fairness::fig17(scale);
+    fairness::print_fairness(
+        "Fig 17: channels offering 80 vs 40 Gbps of QoSh converge to equal goodput",
+        &r17,
+    );
+    let r18 = fairness::fig18(scale);
+    fairness::print_fairness(
+        "Fig 18: in-quota channel keeps p_admit ~1; excess reclaimed (max-min)",
+        &r18,
+    );
+}

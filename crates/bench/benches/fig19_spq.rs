@@ -1,0 +1,7 @@
+//! Regenerates Fig. 19: Aequitas vs strict priority queuing.
+use aequitas_experiments::{spq, Scale};
+
+fn main() {
+    let r = spq::fig19(Scale::detect());
+    spq::print_fig19(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 20: mixed 32/64 KB RPCs under normalized SLOs.
+use aequitas_experiments::{sizes_fig, Scale};
+
+fn main() {
+    let r = sizes_fig::fig20(Scale::detect());
+    sizes_fig::print_fig20(&r);
+}

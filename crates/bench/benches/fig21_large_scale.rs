@@ -1,0 +1,8 @@
+//! Regenerates Fig. 21: 144-node leaf-spine with production sizes and 25x
+//! burst demand.
+use aequitas_experiments::{large, Scale};
+
+fn main() {
+    let r = large::fig21(Scale::detect());
+    large::print_fig21(&r);
+}

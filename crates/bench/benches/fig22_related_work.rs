@@ -1,0 +1,7 @@
+//! Regenerates Fig. 22: Aequitas vs pFabric, QJump, D3, PDQ, Homa.
+use aequitas_experiments::{related, Scale};
+
+fn main() {
+    let r = related::fig22(Scale::detect());
+    related::print_fig22(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 23: the 20-node testbed analogue.
+use aequitas_experiments::{large, Scale};
+
+fn main() {
+    let r = large::fig23(Scale::detect());
+    large::print_fig23(&r);
+}

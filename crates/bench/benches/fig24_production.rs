@@ -1,0 +1,7 @@
+//! Regenerates Fig. 24: Phase-1 rollout (misalignment -> 0, RNL improves).
+use aequitas_experiments::production;
+
+fn main() {
+    let r = production::fig24(50);
+    production::print_fig24(&r);
+}

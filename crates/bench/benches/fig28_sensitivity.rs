@@ -1,0 +1,12 @@
+//! Regenerates Figs. 28/29 (Appendix C): sensitivity to beta.
+use aequitas_experiments::{fairness, Scale};
+
+fn main() {
+    let (r28, r29) = fairness::fig28_29(Scale::detect());
+    fairness::print_fairness("Fig 28: fig-17 setup with beta = 0.0015", &r28);
+    fairness::print_fairness("Fig 29: fig-18 setup with beta = 0.0015", &r29);
+    println!(
+        "\nLower beta favours stability (higher 1st-percentile p_admit) over\n\
+         SLO strictness; compare with the beta = 0.01 runs of fig17_fairness."
+    );
+}

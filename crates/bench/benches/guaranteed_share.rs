@@ -1,0 +1,7 @@
+//! Regenerates the Sec 5.2 guaranteed-share table.
+use aequitas_experiments::theory;
+
+fn main() {
+    let rows = theory::guaranteed_table();
+    theory::print_guaranteed(&rows);
+}

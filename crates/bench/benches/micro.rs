@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks of the simulation hot paths: scheduler
+//! enqueue/dequeue, event-queue churn, admission decisions, percentile
+//! recording, and an end-to-end small simulation.
+
+use aequitas::{AdmissionController, AequitasConfig, SloTarget};
+use aequitas_qdisc::{DwrrScheduler, Scheduler, SpqScheduler, WfqScheduler};
+use aequitas_sim_core::{EventQueue, SimDuration, SimTime};
+use aequitas_stats::Percentiles;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc");
+    g.bench_function("wfq_enqueue_dequeue_3class", |b| {
+        let mut s = WfqScheduler::new(&[8.0, 4.0, 1.0], Some(1 << 20));
+        let mut i = 0u64;
+        b.iter(|| {
+            s.enqueue((i % 3) as usize, 4160, i).ok();
+            i += 1;
+            if i % 2 == 0 {
+                black_box(s.dequeue());
+            }
+        });
+        while s.dequeue().is_some() {}
+    });
+    g.bench_function("dwrr_enqueue_dequeue_3class", |b| {
+        let mut s = DwrrScheduler::new(&[8.0, 4.0, 1.0], 4096, Some(1 << 20));
+        let mut i = 0u64;
+        b.iter(|| {
+            s.enqueue((i % 3) as usize, 4160, i).ok();
+            i += 1;
+            if i % 2 == 0 {
+                black_box(s.dequeue());
+            }
+        });
+        while s.dequeue().is_some() {}
+    });
+    g.bench_function("spq_enqueue_dequeue_8class", |b| {
+        let mut s = SpqScheduler::new(8, Some(1 << 20));
+        let mut i = 0u64;
+        b.iter(|| {
+            s.enqueue((i % 8) as usize, 4160, i).ok();
+            i += 1;
+            if i % 2 == 0 {
+                black_box(s.dequeue());
+            }
+        });
+        while s.dequeue().is_some() {}
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            q.schedule(SimTime::from_ps(q.now().as_ps() + t % 10_000 + 1), t);
+            if t % 2 == 0 {
+                black_box(q.pop());
+            }
+        });
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    c.bench_function("algorithm1_issue_and_completion", |b| {
+        let config = AequitasConfig::three_qos(
+            SloTarget::absolute(SimDuration::from_us(15), 8, 99.9),
+            SloTarget::absolute(SimDuration::from_us(25), 8, 99.9),
+        );
+        let mut ctl = AdmissionController::new(config, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_ns(t * 100);
+            let d = ctl.on_issue(now, (t % 32) as usize, 0, 8);
+            ctl.on_completion(
+                now,
+                (t % 32) as usize,
+                d.qos_run,
+                8,
+                SimDuration::from_us((t % 30) as u64),
+            );
+            black_box(d);
+        });
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    c.bench_function("percentile_record_1e5_then_query", |b| {
+        b.iter(|| {
+            let mut p = Percentiles::new();
+            for i in 0..100_000u64 {
+                p.record((i ^ 0x5DEECE66D) as f64);
+            }
+            black_box(p.p999());
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers, bench_event_queue, bench_admission, bench_percentiles
+);
+criterion_main!(micro);

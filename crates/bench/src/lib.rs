@@ -1,0 +1,8 @@
+//! Benchmark harness for the Aequitas reproduction.
+//!
+//! Every `[[bench]]` target regenerates one table or figure of the paper's
+//! evaluation and prints the corresponding rows/series; `micro` holds
+//! Criterion microbenchmarks of the hot simulation paths. Run everything
+//! with `cargo bench`, or a single figure with e.g.
+//! `cargo bench --bench fig12_33node_slo`. Set `AEQUITAS_FULL=1` for
+//! paper-scale durations.

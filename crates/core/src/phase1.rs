@@ -1,0 +1,343 @@
+//! Phase 1: aligning network QoS with RPC priority, fleet-wide.
+//!
+//! The paper's production data (Figs. 4, 5, 24) shows what coarse
+//! application-level QoS marking does to a fleet: 17.3% of
+//! performance-critical RPCs ran below the top QoS while 54.5% of
+//! best-effort RPCs ran above the scavenger class, and a "race to the top"
+//! moved ever more traffic into the high classes over time. Phase 1 of
+//! Aequitas replaces app-level marking with a per-RPC bijective mapping
+//! (PC→QoSₕ, NC→QoS_m, BE→QoSₗ).
+//!
+//! Production traces are proprietary, so this module models a *synthetic
+//! fleet*: a population of applications, each with a priority mix and a
+//! current marking policy. It reproduces the published statistics and the
+//! dynamics of a staged Phase-1 rollout — the experiment harness uses it to
+//! regenerate Figs. 4/5/24 (the RNL-improvement panel is derived by
+//! evaluating the analysis crate's WFQ delay bounds at the misaligned
+//! versus aligned QoS mixes).
+
+use aequitas_sim_core::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of priority classes / QoS levels in the fleet model.
+pub const CLASSES: usize = 3;
+
+/// How an application marks its traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Marking {
+    /// Entire application pinned to one QoS level (the pre-Aequitas
+    /// coarse-grained model).
+    AppLevel(u8),
+    /// Phase 1 deployed: each RPC marked by its own priority (bijective).
+    PerRpc,
+}
+
+/// One application in the fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Relative traffic volume of this application.
+    pub volume: f64,
+    /// Fraction of the app's RPC traffic that is PC / NC / BE.
+    pub priority_mix: [f64; CLASSES],
+    /// Current marking policy.
+    pub marking: Marking,
+}
+
+/// Parameters for synthesizing a fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of applications.
+    pub apps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            apps: 500,
+            seed: 2022,
+        }
+    }
+}
+
+/// A synthetic fleet of applications.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    apps: Vec<AppSpec>,
+    rng: SimRng,
+}
+
+impl Fleet {
+    /// Build a synthetic fleet whose aggregate priority↔QoS alignment
+    /// resembles the paper's pre-deployment production survey (Fig. 4):
+    /// most PC traffic already rides QoSₕ, but roughly half of BE traffic
+    /// rides above the scavenger class.
+    pub fn synthetic(config: FleetConfig) -> Fleet {
+        let mut rng = SimRng::new(config.seed);
+        let mut apps = Vec::with_capacity(config.apps);
+        for _ in 0..config.apps {
+            // Each app is dominated by one priority class but carries some
+            // traffic of the others (the coarse-marking problem).
+            let dominant = rng.weighted_index(&[0.35, 0.30, 0.35]);
+            let mut mix = [0.0; CLASSES];
+            let main = 0.6 + 0.35 * rng.uniform();
+            mix[dominant] = main;
+            let spill = 1.0 - main;
+            let other = [(dominant + 1) % 3, (dominant + 2) % 3];
+            let split = rng.uniform();
+            mix[other[0]] = spill * split;
+            mix[other[1]] = spill * (1.0 - split);
+
+            // Marking: apps pick a single QoS, biased by their dominant
+            // priority but inflated by race-to-the-top (BE/NC apps often
+            // marked high after past incidents).
+            let marking = match dominant {
+                0 => rng.weighted_index(&[0.85, 0.13, 0.02]), // PC apps
+                1 => rng.weighted_index(&[0.30, 0.55, 0.15]), // NC apps
+                _ => rng.weighted_index(&[0.40, 0.12, 0.48]), // BE apps
+            } as u8;
+
+            let volume = rng.log_normal(0.0, 1.0);
+            apps.push(AppSpec {
+                volume,
+                priority_mix: mix,
+                marking: Marking::AppLevel(marking),
+            });
+        }
+        Fleet {
+            apps,
+            rng: SimRng::new(config.seed ^ 0xA11C),
+        }
+    }
+
+    /// Direct construction from explicit app specs (tests, custom studies).
+    pub fn from_apps(apps: Vec<AppSpec>, seed: u64) -> Fleet {
+        Fleet {
+            apps,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// The applications.
+    pub fn apps(&self) -> &[AppSpec] {
+        &self.apps
+    }
+
+    /// Traffic volume broken down as `[priority][qos]`.
+    pub fn traffic_matrix(&self) -> [[f64; CLASSES]; CLASSES] {
+        let mut m = [[0.0; CLASSES]; CLASSES];
+        for app in &self.apps {
+            for (prio, &frac) in app.priority_mix.iter().enumerate() {
+                let vol = app.volume * frac;
+                let qos = match app.marking {
+                    Marking::AppLevel(q) => q as usize,
+                    Marking::PerRpc => prio,
+                };
+                m[prio][qos] += vol;
+            }
+        }
+        m
+    }
+
+    /// Fraction of each priority's traffic *not* riding its bijective QoS —
+    /// the misalignment metric of Fig. 24 (plus the total across classes).
+    pub fn misalignment_by_priority(&self) -> [f64; CLASSES] {
+        let m = self.traffic_matrix();
+        let mut out = [0.0; CLASSES];
+        for (prio, row) in m.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                out[prio] = (total - row[prio]) / total;
+            }
+        }
+        out
+    }
+
+    /// Volume-weighted total misalignment.
+    pub fn total_misalignment(&self) -> f64 {
+        let m = self.traffic_matrix();
+        let mut total = 0.0;
+        let mut wrong = 0.0;
+        for (prio, row) in m.iter().enumerate() {
+            for (qos, &v) in row.iter().enumerate() {
+                total += v;
+                if qos != prio {
+                    wrong += v;
+                }
+            }
+        }
+        if total > 0.0 {
+            wrong / total
+        } else {
+            0.0
+        }
+    }
+
+    /// The share of total traffic on each QoS level (the QoS-mix the
+    /// network actually sees).
+    pub fn qos_mix(&self) -> [f64; CLASSES] {
+        let m = self.traffic_matrix();
+        let mut mix = [0.0; CLASSES];
+        let mut total = 0.0;
+        for row in &m {
+            for (qos, &v) in row.iter().enumerate() {
+                mix[qos] += v;
+                total += v;
+            }
+        }
+        if total > 0.0 {
+            for v in &mut mix {
+                *v /= total;
+            }
+        }
+        mix
+    }
+
+    /// Roll Phase 1 out to a further `fraction` of the not-yet-aligned
+    /// applications (a weekly deployment cohort). Returns how many apps
+    /// migrated.
+    pub fn align_cohort(&mut self, fraction: f64) -> usize {
+        let mut migrated = 0;
+        for i in 0..self.apps.len() {
+            if matches!(self.apps[i].marking, Marking::AppLevel(_)) && self.rng.bernoulli(fraction)
+            {
+                self.apps[i].marking = Marking::PerRpc;
+                migrated += 1;
+            }
+        }
+        migrated
+    }
+
+    /// One step of the race-to-the-top drift (Fig. 5): applications that
+    /// suffered a latency incident on their current QoS upgrade their whole
+    /// app one level with probability `upgrade_prob` (apps already at the
+    /// top stay). Only app-level-marked apps drift.
+    pub fn race_to_top_step(&mut self, upgrade_prob: f64) {
+        for i in 0..self.apps.len() {
+            if let Marking::AppLevel(q) = self.apps[i].marking {
+                if q > 0 && self.rng.bernoulli(upgrade_prob) {
+                    self.apps[i].marking = Marking::AppLevel(q - 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(volume: f64, mix: [f64; 3], marking: Marking) -> AppSpec {
+        AppSpec {
+            volume,
+            priority_mix: mix,
+            marking,
+        }
+    }
+
+    #[test]
+    fn aligned_fleet_has_zero_misalignment() {
+        let fleet = Fleet::from_apps(
+            vec![
+                app(1.0, [0.5, 0.3, 0.2], Marking::PerRpc),
+                app(2.0, [0.1, 0.1, 0.8], Marking::PerRpc),
+            ],
+            1,
+        );
+        assert_eq!(fleet.total_misalignment(), 0.0);
+        assert_eq!(fleet.misalignment_by_priority(), [0.0; 3]);
+    }
+
+    #[test]
+    fn app_level_marking_misaligns_minority_traffic() {
+        // One app, all marked QoSh, 60% PC / 40% BE: all BE is misaligned,
+        // no PC is.
+        let fleet = Fleet::from_apps(vec![app(1.0, [0.6, 0.0, 0.4], Marking::AppLevel(0))], 1);
+        let mis = fleet.misalignment_by_priority();
+        assert_eq!(mis[0], 0.0);
+        assert_eq!(mis[2], 1.0);
+        assert!((fleet.total_misalignment() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qos_mix_reflects_markings() {
+        let fleet = Fleet::from_apps(
+            vec![
+                app(1.0, [1.0, 0.0, 0.0], Marking::AppLevel(0)),
+                app(1.0, [0.0, 0.0, 1.0], Marking::AppLevel(0)),
+                app(2.0, [0.0, 0.0, 1.0], Marking::AppLevel(2)),
+            ],
+            1,
+        );
+        let mix = fleet.qos_mix();
+        assert!((mix[0] - 0.5).abs() < 1e-12);
+        assert_eq!(mix[1], 0.0);
+        assert!((mix[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_fleet_resembles_paper_survey() {
+        let fleet = Fleet::synthetic(FleetConfig::default());
+        let m = fleet.traffic_matrix();
+        // PC traffic mostly on QoSh but with visible leakage (paper: 17.3%
+        // of PC off QoSh).
+        let pc_total: f64 = m[0].iter().sum();
+        let pc_on_high = m[0][0] / pc_total;
+        assert!(
+            (0.70..0.95).contains(&pc_on_high),
+            "PC on QoSh = {pc_on_high}"
+        );
+        // A large share of BE traffic rides above the scavenger class
+        // (paper: 54.5%).
+        let be_total: f64 = m[2].iter().sum();
+        let be_above_low = (m[2][0] + m[2][1]) / be_total;
+        assert!(
+            (0.35..0.75).contains(&be_above_low),
+            "BE above QoSl = {be_above_low}"
+        );
+    }
+
+    #[test]
+    fn full_rollout_eliminates_misalignment() {
+        let mut fleet = Fleet::synthetic(FleetConfig::default());
+        assert!(fleet.total_misalignment() > 0.1);
+        fleet.align_cohort(1.0);
+        assert_eq!(fleet.total_misalignment(), 0.0);
+    }
+
+    #[test]
+    fn staged_rollout_monotonically_reduces_misalignment() {
+        let mut fleet = Fleet::synthetic(FleetConfig::default());
+        let mut prev = fleet.total_misalignment();
+        for _week in 0..6 {
+            fleet.align_cohort(0.5);
+            let cur = fleet.total_misalignment();
+            assert!(cur <= prev + 1e-12);
+            prev = cur;
+        }
+        assert!(prev < 0.05, "after 6 cohorts misalignment is {prev}");
+    }
+
+    #[test]
+    fn race_to_top_shifts_mix_upward() {
+        let mut fleet = Fleet::synthetic(FleetConfig::default());
+        let before = fleet.qos_mix();
+        for _ in 0..10 {
+            fleet.race_to_top_step(0.05);
+        }
+        let after = fleet.qos_mix();
+        assert!(
+            after[0] > before[0],
+            "QoSh share should grow: {before:?} -> {after:?}"
+        );
+        assert!(after[2] < before[2]);
+    }
+
+    #[test]
+    fn aligned_apps_do_not_drift() {
+        let mut fleet = Fleet::from_apps(vec![app(1.0, [0.2, 0.3, 0.5], Marking::PerRpc)], 3);
+        fleet.race_to_top_step(1.0);
+        assert_eq!(fleet.apps()[0].marking, Marking::PerRpc);
+    }
+}

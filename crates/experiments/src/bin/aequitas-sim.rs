@@ -1,0 +1,196 @@
+//! `aequitas-sim` — command-line front end to the experiment suite.
+//!
+//! The paper open-sourced its simulator partly as an operator tool ("to
+//! help define the admissible region and set the right SLOs"); this binary
+//! is the equivalent entry point. Every figure of the evaluation, the
+//! extension, and the ablations are invocable by name:
+//!
+//! ```text
+//! aequitas-sim list
+//! aequitas-sim run fig12
+//! aequitas-sim run fig22 --full
+//! aequitas-sim run all
+//! ```
+
+use aequitas_experiments::harness::Scale;
+use aequitas_experiments::*;
+
+struct Entry {
+    name: &'static str,
+    about: &'static str,
+    run: fn(Scale),
+}
+
+fn entries() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "fig01",
+            about: "per-class RPC size distribution quantiles",
+            run: |_| sizes_fig::print_fig01(&sizes_fig::fig01()),
+        },
+        Entry {
+            name: "fig03",
+            about: "congestion episode: load spike -> RNL spike",
+            run: |s| production::print_fig03(&production::fig03(s)),
+        },
+        Entry {
+            name: "fig04",
+            about: "fleet misalignment snapshot + race-to-the-top drift",
+            run: |_| production::print_fig04_05(&production::fig04_05()),
+        },
+        Entry {
+            name: "fig08",
+            about: "closed-form 2-QoS worst-case delay",
+            run: |_| theory::print_fig08(&theory::fig08()),
+        },
+        Entry {
+            name: "fig09",
+            about: "3-QoS worst-case delay (8:4:1 and 50:4:1)",
+            run: |_| theory::print_fig09(&theory::fig09()),
+        },
+        Entry {
+            name: "fig10",
+            about: "packet simulator vs theory validation",
+            run: |s| theory::print_fig10(&theory::fig10(s)),
+        },
+        Entry {
+            name: "fig11",
+            about: "achieved RNL tracks the SLO (3-node sweep)",
+            run: |s| slo::print_fig11(&slo::fig11(s)),
+        },
+        Entry {
+            name: "fig12",
+            about: "33-node SLO compliance (+ fig13 outstanding RPCs)",
+            run: |s| {
+                let mut r = slo::fig12(s);
+                slo::print_fig12(&r);
+                slo::print_fig13(&mut r);
+            },
+        },
+        Entry {
+            name: "fig14",
+            about: "baseline RNL vs input QoSh-share",
+            run: |s| mix::print_fig14(&mix::fig14(s)),
+        },
+        Entry {
+            name: "fig15",
+            about: "admitted QoS-mix converges to target",
+            run: |s| mix::print_fig15(&mix::fig15(s)),
+        },
+        Entry {
+            name: "fig16",
+            about: "admitted share vs burstiness (C/rho fit)",
+            run: |s| mix::print_fig16(&mix::fig16(s)),
+        },
+        Entry {
+            name: "fig17",
+            about: "fairness across channels (+ fig18 max-min)",
+            run: |s| {
+                fairness::print_fairness("Fig 17", &fairness::fig17(s));
+                fairness::print_fairness("Fig 18", &fairness::fig18(s));
+            },
+        },
+        Entry {
+            name: "fig19",
+            about: "Aequitas vs strict priority queuing",
+            run: |s| spq::print_fig19(&spq::fig19(s)),
+        },
+        Entry {
+            name: "fig20",
+            about: "mixed 32/64KB sizes under normalized SLOs",
+            run: |s| sizes_fig::print_fig20(&sizes_fig::fig20(s)),
+        },
+        Entry {
+            name: "fig21",
+            about: "leaf-spine fabric, production sizes, 25x burst",
+            run: |s| large::print_fig21(&large::fig21(s)),
+        },
+        Entry {
+            name: "fig22",
+            about: "vs pFabric / QJump / D3 / PDQ / Homa",
+            run: |s| related::print_fig22(&related::fig22(s)),
+        },
+        Entry {
+            name: "fig23",
+            about: "20-node testbed analogue",
+            run: |s| large::print_fig23(&large::fig23(s)),
+        },
+        Entry {
+            name: "fig24",
+            about: "Phase-1 rollout: misalignment -> 0",
+            run: |_| production::print_fig24(&production::fig24(50)),
+        },
+        Entry {
+            name: "fig28",
+            about: "beta sensitivity (Appendix C)",
+            run: |s| {
+                let (a, b) = fairness::fig28_29(s);
+                fairness::print_fairness("Fig 28 (beta=0.0015)", &a);
+                fairness::print_fairness("Fig 29 (beta=0.0015)", &b);
+            },
+        },
+        Entry {
+            name: "guarantee",
+            about: "Sec 5.2 guaranteed-share table",
+            run: |_| theory::print_guaranteed(&theory::guaranteed_table()),
+        },
+        Entry {
+            name: "quota",
+            about: "extension: centralized RPC quota server",
+            run: |s| ext::print_quota(&ext::quota(s)),
+        },
+        Entry {
+            name: "core-overload",
+            about: "extension: spine overload handled with no topology knowledge",
+            run: |s| ext::print_core_overload(&ext::core_overload(s)),
+        },
+        Entry {
+            name: "ablations",
+            about: "design-choice ablations (MD scaling, window, drop, floor)",
+            run: |s| {
+                ext::print_ablation_md_size(&ext::ablation_md_size(s));
+                ext::print_ablation_window(&ext::ablation_window(s));
+                ext::print_ablation_drop(&ext::ablation_drop(s));
+                ext::print_ablation_floor(&ext::ablation_floor(s));
+            },
+        },
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!("usage: aequitas-sim <list | run <name|all>> [--full]");
+    eprintln!("       aequitas-sim run fig12");
+    eprintln!("       AEQUITAS_FULL=1 aequitas-sim run all");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::detect() };
+    let args: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--full").collect();
+    let table = entries();
+    match args.as_slice() {
+        ["list"] => {
+            println!("{:<10} description", "name");
+            println!("{}", "-".repeat(60));
+            for e in &table {
+                println!("{:<10} {}", e.name, e.about);
+            }
+        }
+        ["run", "all"] => {
+            for e in &table {
+                eprintln!("\n>>> {}", e.name);
+                (e.run)(scale);
+            }
+        }
+        ["run", name] => match table.iter().find(|e| e.name == *name) {
+            Some(e) => (e.run)(scale),
+            None => {
+                eprintln!("unknown experiment '{name}'; try `aequitas-sim list`");
+                std::process::exit(2);
+            }
+        },
+        _ => usage(),
+    }
+}

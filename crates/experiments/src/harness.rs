@@ -1,0 +1,285 @@
+//! Shared experiment plumbing: building engines of [`WorkloadHost`]s,
+//! running them with periodic sampling, and collecting results.
+
+use aequitas::AequitasConfig;
+use aequitas_netsim::{Engine, EngineConfig, HostId, LinkSpec, Topology};
+use aequitas_rpc::{Policy, RpcCompletion, RpcStack, WorkloadHost, WorkloadSpec};
+use aequitas_sim_core::{BitRate, SimDuration, SimTime};
+use aequitas_transport::TransportConfig;
+use aequitas_workloads::QosMapping;
+
+/// Experiment scale: quick (CI) or full (paper-scale).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Whether to use paper-scale durations/node counts.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Quick mode.
+    pub fn quick() -> Self {
+        Scale { full: false }
+    }
+    /// Full (paper-scale) mode.
+    pub fn full() -> Self {
+        Scale { full: true }
+    }
+    /// From the `AEQUITAS_FULL` environment variable.
+    pub fn detect() -> Self {
+        Scale {
+            full: std::env::var("AEQUITAS_FULL").map_or(false, |v| v != "0"),
+        }
+    }
+    /// Pick between a quick and a full value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// Which admission policy each host runs.
+#[derive(Clone)]
+pub enum PolicyChoice {
+    /// Static bijective mapping only ("w/o Aequitas").
+    Static,
+    /// Aequitas Phase 2 with this config.
+    Aequitas(AequitasConfig),
+    /// Ablation: Algorithm 1 decisions but excess RPCs are dropped instead
+    /// of downgraded.
+    DropExcess(AequitasConfig),
+}
+
+/// Full description of a macro experiment run.
+pub struct MacroSetup {
+    /// The network.
+    pub topo: Topology,
+    /// Fabric configuration.
+    pub engine: EngineConfig,
+    /// Transport (CC) configuration.
+    pub transport: TransportConfig,
+    /// Priority→QoS mapping.
+    pub mapping: QosMapping,
+    /// Admission policy (same choice on every host; per-host seeds differ).
+    pub policy: PolicyChoice,
+    /// Per-host workload (`None` = receiver only).
+    pub workloads: Vec<Option<WorkloadSpec>>,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Completions issued before this offset are excluded from statistics
+    /// (convergence warm-up).
+    pub warmup: SimDuration,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Per-host policy overrides (taken at build; wins over `policy`).
+    /// Leave empty for a uniform policy.
+    pub policy_overrides: Vec<Option<Policy>>,
+}
+
+impl MacroSetup {
+    /// A 100 Gbps star topology setup with 3-QoS WFQ 8:4:1 defaults.
+    pub fn star_3qos(n: usize) -> MacroSetup {
+        MacroSetup {
+            topo: Topology::star(n, LinkSpec::default_100g()),
+            engine: EngineConfig::default_3qos(),
+            transport: TransportConfig::default(),
+            mapping: QosMapping::three_level(),
+            policy: PolicyChoice::Static,
+            workloads: (0..n).map(|_| None).collect(),
+            duration: SimDuration::from_ms(10),
+            warmup: SimDuration::from_ms(2),
+            seed: 2022,
+            policy_overrides: Vec::new(),
+        }
+    }
+
+    /// The line rate of host NICs in this setup (assumed uniform).
+    pub fn line_rate(&self) -> BitRate {
+        self.topo.host_ports[0].link.rate
+    }
+
+    fn build(self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
+        let n = self.topo.num_hosts();
+        assert_eq!(self.workloads.len(), n);
+        let line_rate = self.line_rate();
+        let mut overrides = self.policy_overrides;
+        overrides.resize_with(n, || None);
+        let agents: Vec<WorkloadHost> = self
+            .workloads
+            .into_iter()
+            .enumerate()
+            .map(|(h, spec)| {
+                let policy = match overrides[h].take() {
+                    Some(p) => p,
+                    None => match &self.policy {
+                        PolicyChoice::Static => Policy::Static,
+                        PolicyChoice::Aequitas(cfg) => {
+                            Policy::aequitas(cfg.clone(), self.seed ^ (0xACE0 + h as u64))
+                        }
+                        PolicyChoice::DropExcess(cfg) => Policy::AequitasDropExcess(
+                            aequitas::AdmissionController::new(
+                                cfg.clone(),
+                                self.seed ^ (0xD409 + h as u64),
+                            ),
+                        ),
+                    },
+                };
+                let stack = RpcStack::new(
+                    HostId(h),
+                    self.mapping.clone(),
+                    policy,
+                    self.transport.clone(),
+                );
+                WorkloadHost::new(stack, spec, n, line_rate, self.seed ^ (h as u64) << 8)
+            })
+            .collect();
+        let engine = Engine::new(self.topo, agents, self.engine);
+        (engine, self.duration, self.warmup)
+    }
+}
+
+/// Results of a macro run.
+pub struct MacroResult {
+    /// Completions from all hosts with `issued_at >= warmup`.
+    pub completions: Vec<RpcCompletion>,
+    /// Completions during warm-up (kept separate for convergence plots).
+    pub warmup_completions: Vec<RpcCompletion>,
+    /// Total RPCs issued across hosts (including warm-up).
+    pub issued: u64,
+    /// Simulated duration after warm-up (for throughput math).
+    pub measure_secs: f64,
+    /// Events processed (engine work metric).
+    pub events: u64,
+}
+
+/// Run a macro experiment without sampling.
+pub fn run_macro(setup: MacroSetup) -> MacroResult {
+    run_macro_sampled(setup, SimDuration::MAX, |_, _| {})
+}
+
+/// Run a macro experiment, invoking `sample(&engine, now)` every
+/// `sample_every` of simulated time (pass `SimDuration::MAX` to disable).
+pub fn run_macro_sampled<F>(
+    setup: MacroSetup,
+    sample_every: SimDuration,
+    mut sample: F,
+) -> MacroResult
+where
+    F: FnMut(&Engine<WorkloadHost>, SimTime),
+{
+    run_macro_controlled(setup, sample_every, |eng, now| sample(eng, now))
+}
+
+/// Like [`run_macro_sampled`] but with *mutable* engine access — used by
+/// control-plane extensions (the quota server pulls usage reports and
+/// pushes grants into the hosts between slices).
+pub fn run_macro_controlled<F>(
+    setup: MacroSetup,
+    sample_every: SimDuration,
+    mut sample: F,
+) -> MacroResult
+where
+    F: FnMut(&mut Engine<WorkloadHost>, SimTime),
+{
+    let warmup = setup.warmup;
+    let (mut engine, duration, _) = setup.build();
+    let end = SimTime::ZERO + duration;
+    let mut next_sample = if sample_every == SimDuration::MAX {
+        SimTime::MAX
+    } else {
+        SimTime::ZERO + sample_every
+    };
+    loop {
+        let until = end.min(next_sample);
+        engine.run_until(until);
+        if until >= end {
+            break;
+        }
+        sample(&mut engine, until);
+        next_sample = next_sample + sample_every;
+    }
+
+    let warmup_t = SimTime::ZERO + warmup;
+    let mut completions = Vec::new();
+    let mut warmup_completions = Vec::new();
+    let mut issued = 0;
+    for host in engine.agents_mut() {
+        issued += host.issued();
+        for c in host.take_completions() {
+            if c.issued_at >= warmup_t {
+                completions.push(c);
+            } else {
+                warmup_completions.push(c);
+            }
+        }
+    }
+    completions.sort_by_key(|c| c.completed_at);
+    MacroResult {
+        completions,
+        warmup_completions,
+        issued,
+        measure_secs: (duration.saturating_sub(warmup)).as_secs_f64(),
+        events: engine.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequitas_rpc::{ArrivalProcess, Priority, PrioritySpec, TrafficPattern};
+    use aequitas_workloads::SizeDist;
+
+    fn small_setup(policy: PolicyChoice) -> MacroSetup {
+        let mut s = MacroSetup::star_3qos(3);
+        s.policy = policy;
+        s.duration = SimDuration::from_ms(4);
+        s.warmup = SimDuration::from_ms(1);
+        for h in 0..2 {
+            s.workloads[h] = Some(WorkloadSpec {
+                arrival: ArrivalProcess::Poisson { load: 0.5 },
+                pattern: TrafficPattern::ManyToOne { dst: 2 },
+                classes: vec![PrioritySpec {
+                    priority: Priority::PerformanceCritical,
+                    byte_share: 1.0,
+                    sizes: SizeDist::Fixed(32_768),
+                }],
+                stop: None,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn macro_run_collects_completions() {
+        let r = run_macro(small_setup(PolicyChoice::Static));
+        assert!(r.completions.len() > 200, "{}", r.completions.len());
+        assert!(!r.warmup_completions.is_empty());
+        assert!(r.issued as usize >= r.completions.len());
+        assert!(r.events > 1000);
+        // Completions sorted by completion time.
+        for w in r.completions.windows(2) {
+            assert!(w[0].completed_at <= w[1].completed_at);
+        }
+    }
+
+    #[test]
+    fn sampling_fires_on_schedule() {
+        let mut ticks = Vec::new();
+        run_macro_sampled(
+            small_setup(PolicyChoice::Static),
+            SimDuration::from_ms(1),
+            |_, now| ticks.push(now),
+        );
+        assert_eq!(ticks.len(), 3, "{ticks:?}"); // at 1, 2, 3 ms (end at 4)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_macro(small_setup(PolicyChoice::Static));
+        let b = run_macro(small_setup(PolicyChoice::Static));
+        assert_eq!(a.completions.len(), b.completions.len());
+        assert_eq!(a.events, b.events);
+    }
+}

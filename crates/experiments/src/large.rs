@@ -1,0 +1,345 @@
+//! Figs. 21 and 23: large-scale and testbed-analogue runs.
+
+use crate::harness::{run_macro, MacroSetup, PolicyChoice, Scale};
+use crate::report::print_table;
+use crate::slo::{admitted_mix, p999_rnl_us};
+use aequitas::{AequitasConfig, SloTarget};
+use aequitas_netsim::{LinkSpec, Topology};
+use aequitas_rpc::{ArrivalProcess, Priority, PrioritySpec, TrafficPattern, WorkloadSpec};
+use aequitas_sim_core::{SimDuration};
+use aequitas_stats::Percentiles;
+use aequitas_workloads::{QosClass, SizeDist};
+
+// ---------------------------------------------------------------------------
+// Fig. 21: 144-node leaf-spine, production sizes, extreme burst overload.
+// ---------------------------------------------------------------------------
+
+/// Result of the 144-node experiment.
+pub struct Fig21Result {
+    /// Per-QoS 99.9p normalized RNL (µs/MTU) without Aequitas.
+    pub without: [Option<f64>; 3],
+    /// Per-QoS 99.9p normalized RNL (µs/MTU) with Aequitas.
+    pub with: [Option<f64>; 3],
+    /// Normalized SLOs (µs/MTU) for (QoSh, QoSm).
+    pub slo_per_mtu: [f64; 2],
+    /// Input and admitted QoS-mix (with Aequitas), percent.
+    pub input_mix: [f64; 3],
+    /// Admitted mix, percent.
+    pub admitted_mix: [f64; 3],
+}
+
+fn production_workload(mix: [f64; 3], mu: f64, rho: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        arrival: ArrivalProcess::BurstOnOff {
+            mu,
+            rho,
+            period: SimDuration::from_us(400),
+        },
+        pattern: TrafficPattern::AllToAll,
+        classes: vec![
+            PrioritySpec {
+                priority: Priority::PerformanceCritical,
+                byte_share: mix[0],
+                sizes: SizeDist::production_like(Priority::PerformanceCritical),
+            },
+            PrioritySpec {
+                priority: Priority::NonCritical,
+                byte_share: mix[1],
+                sizes: SizeDist::production_like(Priority::NonCritical),
+            },
+            PrioritySpec {
+                priority: Priority::BestEffort,
+                byte_share: mix[2],
+                sizes: SizeDist::production_like(Priority::BestEffort),
+            },
+        ],
+        stop: None,
+    }
+}
+
+/// The normalized SLO configuration for production-size runs: generous
+/// per-MTU targets (small RPCs are dominated by per-RPC fixed costs).
+pub fn production_slo_config() -> AequitasConfig {
+    AequitasConfig::three_qos(
+        SloTarget::per_mtu(SimDuration::from_us(30), 99.9),
+        SloTarget::per_mtu(SimDuration::from_us(45), 99.9),
+    )
+}
+
+fn per_mtu_p999(completions: &[aequitas_rpc::RpcCompletion], qos: QosClass) -> Option<f64> {
+    let mut p = Percentiles::new();
+    for c in completions.iter().filter(|c| c.qos_run == qos) {
+        p.record(c.rnl_per_mtu().as_us_f64());
+    }
+    p.p999()
+}
+
+fn run_144(scale: Scale, policy: PolicyChoice, seed: u64) -> crate::harness::MacroResult {
+    // 9 racks x 16 hosts with 4 spines; intra-fabric links 100G. Quick
+    // scale shrinks the fabric but keeps the run long: with 25x bursts the
+    // RNL feedback the controller needs arrives milliseconds late, and the
+    // paper itself reports ~20 ms convergence for this experiment.
+    let racks = scale.pick(2, 9);
+    let n = racks * 16;
+    let topo = Topology::leaf_spine(
+        racks,
+        16,
+        4,
+        LinkSpec::default_100g(),
+        LinkSpec::default_100g(),
+    );
+    let mut setup = MacroSetup::star_3qos(n);
+    setup.topo = topo;
+    setup.policy = policy;
+    setup.duration = scale.pick(SimDuration::from_ms(50), SimDuration::from_ms(120));
+    setup.warmup = scale.pick(SimDuration::from_ms(30), SimDuration::from_ms(60));
+    setup.seed = seed;
+    for h in 0..n {
+        // Extreme overload: arrival-layer demand spikes to 25x link rate
+        // during bursts (mu = 0.8 average, rho = 25 burst demand).
+        setup.workloads[h] = Some(production_workload([0.6, 0.3, 0.1], 0.8, 25.0));
+    }
+    run_macro(setup)
+}
+
+/// Fig. 21: production sizes, 25× burst demand, leaf-spine fabric.
+pub fn fig21(scale: Scale) -> Fig21Result {
+    let without = run_144(scale, PolicyChoice::Static, 2101);
+    let with = run_144(
+        scale,
+        PolicyChoice::Aequitas(production_slo_config()),
+        2102,
+    );
+    let adm = admitted_mix(&with.completions, 3);
+    Fig21Result {
+        without: [
+            per_mtu_p999(&without.completions, QosClass(0)),
+            per_mtu_p999(&without.completions, QosClass(1)),
+            per_mtu_p999(&without.completions, QosClass(2)),
+        ],
+        with: [
+            per_mtu_p999(&with.completions, QosClass(0)),
+            per_mtu_p999(&with.completions, QosClass(1)),
+            per_mtu_p999(&with.completions, QosClass(2)),
+        ],
+        slo_per_mtu: [30.0, 45.0],
+        input_mix: [60.0, 30.0, 10.0],
+        admitted_mix: [adm[0] * 100.0, adm[1] * 100.0, adm[2] * 100.0],
+    }
+}
+
+/// Print Fig. 21.
+pub fn print_fig21(r: &Fig21Result) {
+    let rows = vec![
+        vec![
+            "QoSh".into(),
+            format!("{:.0}", r.slo_per_mtu[0]),
+            crate::report::opt(r.without[0], 1),
+            crate::report::opt(r.with[0], 1),
+        ],
+        vec![
+            "QoSm".into(),
+            format!("{:.0}", r.slo_per_mtu[1]),
+            crate::report::opt(r.without[1], 1),
+            crate::report::opt(r.with[1], 1),
+        ],
+        vec![
+            "QoSl".into(),
+            "-".into(),
+            crate::report::opt(r.without[2], 1),
+            crate::report::opt(r.with[2], 1),
+        ],
+    ];
+    print_table(
+        "Fig 21: 144-node leaf-spine, production sizes, 25x burst (99.9p RNL us/MTU)",
+        &["QoS", "SLO/MTU", "w/o Aequitas", "w/ Aequitas"],
+        &rows,
+    );
+    println!(
+        "input mix {:.0}/{:.0}/{:.0} -> admitted {:.1}/{:.1}/{:.1}",
+        r.input_mix[0],
+        r.input_mix[1],
+        r.input_mix[2],
+        r.admitted_mix[0],
+        r.admitted_mix[1],
+        r.admitted_mix[2]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 23: the 20-node testbed analogue.
+// ---------------------------------------------------------------------------
+
+/// Result of the testbed-analogue run.
+pub struct Fig23Result {
+    /// Per-QoS 99.9p RNL normalized by the reference run (input = target
+    /// mix), without Aequitas.
+    pub without_norm: [Option<f64>; 3],
+    /// Same, with Aequitas.
+    pub with_norm: [Option<f64>; 3],
+    /// Input mix (%), and the admitted mix with Aequitas (%).
+    pub input_mix: [f64; 3],
+    /// Admitted mix (%).
+    pub admitted: [f64; 3],
+}
+
+fn testbed_workload(mix: [f64; 3]) -> WorkloadSpec {
+    WorkloadSpec {
+        arrival: ArrivalProcess::BurstOnOff {
+            mu: 0.8,
+            rho: 1.4,
+            period: SimDuration::from_us(100),
+        },
+        pattern: TrafficPattern::AllToAll,
+        classes: vec![
+            PrioritySpec {
+                priority: Priority::PerformanceCritical,
+                byte_share: mix[0],
+                sizes: SizeDist::Fixed(32_768),
+            },
+            PrioritySpec {
+                priority: Priority::NonCritical,
+                byte_share: mix[1],
+                sizes: SizeDist::Fixed(32_768),
+            },
+            PrioritySpec {
+                priority: Priority::BestEffort,
+                byte_share: mix[2],
+                sizes: SizeDist::Fixed(32_768),
+            },
+        ],
+        stop: None,
+    }
+}
+
+fn run_testbed(scale: Scale, mix: [f64; 3], policy: PolicyChoice, seed: u64) -> crate::harness::MacroResult {
+    let n = 20;
+    let mut setup = MacroSetup::star_3qos(n);
+    setup.policy = policy;
+    setup.duration = scale.pick(SimDuration::from_ms(20), SimDuration::from_ms(100));
+    setup.warmup = scale.pick(SimDuration::from_ms(6), SimDuration::from_ms(30));
+    setup.seed = seed;
+    for h in 0..n {
+        setup.workloads[h] = Some(testbed_workload(mix));
+    }
+    run_macro(setup)
+}
+
+/// Fig. 23: 20 machines, all-to-all 32 KB WRITEs, input mix (0.5, 0.35,
+/// 0.15), SLOs set for a target mix of (0.2, 0.3, 0.5). Results are
+/// normalized per QoS by the reference run whose input equals the target —
+/// the same normalization the paper uses for confidentiality.
+pub fn fig23(scale: Scale) -> Fig23Result {
+    let slos = crate::slo::slo_config_33();
+    let input = [0.5, 0.35, 0.15];
+    let target = [0.2, 0.3, 0.5];
+    let reference = run_testbed(
+        scale,
+        target,
+        PolicyChoice::Aequitas(slos.clone()),
+        2301,
+    );
+    let without = run_testbed(scale, input, PolicyChoice::Static, 2302);
+    let with = run_testbed(scale, input, PolicyChoice::Aequitas(slos), 2303);
+
+    let norm = |r: &crate::harness::MacroResult, q: u8| -> Option<f64> {
+        let base = p999_rnl_us(&reference.completions, QosClass(q))?;
+        let v = p999_rnl_us(&r.completions, QosClass(q))?;
+        Some(v / base)
+    };
+    let adm = admitted_mix(&with.completions, 3);
+    Fig23Result {
+        without_norm: [norm(&without, 0), norm(&without, 1), norm(&without, 2)],
+        with_norm: [norm(&with, 0), norm(&with, 1), norm(&with, 2)],
+        input_mix: input.map(|v| v * 100.0),
+        admitted: [adm[0] * 100.0, adm[1] * 100.0, adm[2] * 100.0],
+    }
+}
+
+/// Print Fig. 23.
+pub fn print_fig23(r: &Fig23Result) {
+    let rows = vec![
+        vec![
+            "QoSh".into(),
+            crate::report::opt(r.without_norm[0], 2),
+            crate::report::opt(r.with_norm[0], 2),
+        ],
+        vec![
+            "QoSm".into(),
+            crate::report::opt(r.without_norm[1], 2),
+            crate::report::opt(r.with_norm[1], 2),
+        ],
+        vec![
+            "QoSl".into(),
+            crate::report::opt(r.without_norm[2], 2),
+            crate::report::opt(r.with_norm[2], 2),
+        ],
+    ];
+    print_table(
+        "Fig 23: 20-node testbed analogue, normalized 99.9p RNL",
+        &["QoS", "w/o Aequitas", "w/ Aequitas"],
+        &rows,
+    );
+    println!(
+        "input mix {:.0}/{:.0}/{:.0} -> admitted {:.1}/{:.1}/{:.1}",
+        r.input_mix[0], r.input_mix[1], r.input_mix[2], r.admitted[0], r.admitted[1], r.admitted[2]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_aequitas_contains_extreme_overload() {
+        let r = fig21(Scale::quick());
+        let h_without = r.without[0].expect("samples");
+        let h_with = r.with[0].expect("samples");
+        let m_without = r.without[1].expect("samples");
+        let m_with = r.with[1].expect("samples");
+        // The paper reports 3.7x/2.2x improvements; at quick scale with a
+        // 25x burst our contrast is far larger (the uncontrolled run's
+        // sender queues explode). Per-channel admitted rates in the
+        // all-to-all fan-out sit below Algorithm 1's implicit calibration
+        // rate (alpha / (target x beta x size)), so the equilibrium tail
+        // rests a small multiple above the per-MTU target rather than on it
+        // (see EXPERIMENTS.md); assert the shape, not the absolute.
+        assert!(
+            h_with < h_without / 10.0,
+            "QoSh tail should improve dramatically: {h_without} -> {h_with}"
+        );
+        assert!(
+            m_with < m_without / 5.0,
+            "QoSm tail should improve: {m_without} -> {m_with}"
+        );
+        assert!(
+            h_with < r.slo_per_mtu[0] * 10.0,
+            "QoSh normalized tail {h_with} should land within an order of the SLO {}",
+            r.slo_per_mtu[0]
+        );
+        // Admitted QoSh share shrinks versus the 60% input.
+        assert!(r.admitted_mix[0] < 50.0, "{:?}", r.admitted_mix);
+    }
+
+    #[test]
+    fn fig23_converges_toward_target_mix() {
+        let r = fig23(Scale::quick());
+        // The admitted mix moves from the 50/35/15 input toward 20/30/50.
+        assert!(
+            r.admitted[0] < 35.0,
+            "QoSh admitted {:.1}% should fall toward 20%",
+            r.admitted[0]
+        );
+        assert!(
+            r.admitted[2] > 30.0,
+            "QoSl admitted {:.1}% should grow toward 50%",
+            r.admitted[2]
+        );
+        // With Aequitas the normalized tails are near 1.0 (i.e. matching the
+        // in-profile reference), without they are much worse.
+        let h_with = r.with_norm[0].unwrap();
+        let h_without = r.without_norm[0].unwrap();
+        assert!(h_without > h_with * 2.0, "{h_without} vs {h_with}");
+        assert!(h_with < 2.0, "normalized QoSh with Aequitas: {h_with}");
+    }
+}

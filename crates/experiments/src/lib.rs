@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! One experiment per table/figure of the paper's evaluation (§6).
+//!
+//! Every module exposes a `run(scale) -> …Result` function returning plain
+//! data and a `print(&result)` that renders the paper-style rows; the bench
+//! harness (`crates/bench`) wraps these one-to-one. `Scale::quick()` keeps
+//! runtimes CI-friendly; `Scale::full()` (or `AEQUITAS_FULL=1`) uses
+//! paper-scale durations and node counts.
+//!
+//! | Module | Figures |
+//! |--------|---------|
+//! | [`theory`] | Figs. 8, 9, 10 and the §5.2 guaranteed-share bound |
+//! | [`slo`] | Figs. 11, 12, 13 (SLO compliance, outstanding RPCs) |
+//! | [`mix`] | Figs. 14, 15, 16 (admissible share, mix convergence, burstiness) |
+//! | [`fairness`] | Figs. 17, 18 and the Appendix C sensitivity (28/29) |
+//! | [`spq`] | Fig. 19 (strict priority comparison) |
+//! | [`sizes_fig`] | Figs. 1, 20 (size CDFs, mixed-size SLOs) |
+//! | [`large`] | Figs. 21, 23 (144-node production sizes, testbed analogue) |
+//! | [`related`] | Fig. 22 (pFabric/QJump/D3/PDQ/Homa comparison) |
+//! | [`production`] | Figs. 3, 4, 5, 24 (overload episode, fleet alignment) |
+
+pub mod ext;
+pub mod fairness;
+pub mod harness;
+pub mod large;
+pub mod mix;
+pub mod production;
+pub mod related;
+pub mod report;
+pub mod sizes_fig;
+pub mod slo;
+pub mod spq;
+pub mod theory;
+
+pub use harness::{MacroResult, MacroSetup, Scale};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_detection_defaults_to_quick() {
+        // The env var is absent in tests.
+        let s = Scale::detect();
+        assert!(!s.full || std::env::var("AEQUITAS_FULL").is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Fig. 19: strict priority queuing cannot contain the race to the top.
+
+use crate::harness::{run_macro, MacroSetup, PolicyChoice, Scale};
+use crate::report::print_table;
+use crate::slo::{node33_workload, p999_rnl_us, slo_config_33};
+use aequitas_netsim::SchedulerKind;
+use aequitas_sim_core::SimDuration;
+use aequitas_workloads::QosClass;
+
+/// One Fig. 19 point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig19Point {
+    /// Input QoSh-share (%).
+    pub share_pct: f64,
+    /// (QoSh, QoSm) 99.9p RNL under SPQ (µs).
+    pub spq_us: [Option<f64>; 2],
+    /// (QoSh, QoSm) 99.9p RNL under Aequitas-on-WFQ (µs).
+    pub aequitas_us: [Option<f64>; 2],
+}
+
+/// Fig. 19 result.
+pub struct Fig19Result {
+    /// SLOs for reference (µs).
+    pub slo_us: [f64; 2],
+    /// Sweep points.
+    pub points: Vec<Fig19Point>,
+}
+
+fn base_setup(scale: Scale, mix: [f64; 3], seed: u64) -> MacroSetup {
+    let n = 33;
+    let mut setup = MacroSetup::star_3qos(n);
+    setup.duration = scale.pick(SimDuration::from_ms(40), SimDuration::from_ms(120));
+    setup.warmup = scale.pick(SimDuration::from_ms(24), SimDuration::from_ms(60));
+    setup.seed = seed;
+    for h in 0..n {
+        setup.workloads[h] = Some(node33_workload(mix, None));
+    }
+    setup
+}
+
+/// Fig. 19: QoSm fixed at 20%, QoSh-share swept 50–80%; SPQ (static
+/// priorities pushed into the fabric) versus Aequitas over WFQ.
+pub fn fig19(scale: Scale) -> Fig19Result {
+    let mut points = Vec::new();
+    for share in [50.0, 60.0, 70.0, 80.0] {
+        let x = share / 100.0;
+        let mix = [x, 0.20, (0.80_f64 - x).max(0.0)];
+
+        // SPQ, no admission control.
+        let mut spq_setup = base_setup(scale, mix, 1900 + share as u64);
+        spq_setup.engine.switch_scheduler = SchedulerKind::Spq(3);
+        spq_setup.engine.host_scheduler = SchedulerKind::Spq(3);
+        spq_setup.policy = PolicyChoice::Static;
+        let spq = run_macro(spq_setup);
+
+        // Aequitas over WFQ.
+        let mut aq_setup = base_setup(scale, mix, 1950 + share as u64);
+        aq_setup.policy = PolicyChoice::Aequitas(slo_config_33());
+        let aq = run_macro(aq_setup);
+
+        points.push(Fig19Point {
+            share_pct: share,
+            spq_us: [
+                p999_rnl_us(&spq.completions, QosClass(0)),
+                p999_rnl_us(&spq.completions, QosClass(1)),
+            ],
+            aequitas_us: [
+                p999_rnl_us(&aq.completions, QosClass(0)),
+                p999_rnl_us(&aq.completions, QosClass(1)),
+            ],
+        });
+    }
+    Fig19Result {
+        slo_us: [15.0, 25.0],
+        points,
+    }
+}
+
+/// Print Fig. 19.
+pub fn print_fig19(r: &Fig19Result) {
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.share_pct),
+                crate::report::opt(p.aequitas_us[0], 1),
+                crate::report::opt(p.spq_us[0], 1),
+                crate::report::opt(p.aequitas_us[1], 1),
+                crate::report::opt(p.spq_us[1], 1),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig 19: Aequitas vs SPQ as QoSh-share grows (SLOs {}/{} us)",
+            r.slo_us[0], r.slo_us[1]
+        ),
+        &[
+            "QoSh-share",
+            "QoSh Aequitas",
+            "QoSh SPQ",
+            "QoSm Aequitas",
+            "QoSm SPQ",
+        ],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spq_degrades_while_aequitas_holds() {
+        // Single high-share point for test speed.
+        let scale = Scale::quick();
+        let mix = [0.80, 0.20, 0.0];
+        let mut spq_setup = base_setup(scale, mix, 7);
+        spq_setup.engine.switch_scheduler = SchedulerKind::Spq(3);
+        spq_setup.engine.host_scheduler = SchedulerKind::Spq(3);
+        let spq = run_macro(spq_setup);
+        let mut aq_setup = base_setup(scale, mix, 8);
+        aq_setup.policy = PolicyChoice::Aequitas(slo_config_33());
+        let aq = run_macro(aq_setup);
+
+        let spq_h = p999_rnl_us(&spq.completions, QosClass::HIGH).unwrap();
+        let aq_h = p999_rnl_us(&aq.completions, QosClass::HIGH).unwrap();
+        // With 80% of traffic marked QoSh, SPQ misses the 15 us SLO while
+        // Aequitas's admitted QoSh traffic still meets it.
+        assert!(spq_h > 15.0 * 1.5, "SPQ QoSh p999 {spq_h} us");
+        assert!(aq_h < 15.0 * 2.0, "Aequitas QoSh p999 {aq_h} us");
+        assert!(aq_h < spq_h, "Aequitas {aq_h} must beat SPQ {spq_h}");
+        // SPQ starves QoSm to far beyond its SLO.
+        let spq_m = p999_rnl_us(&spq.completions, QosClass(1)).unwrap();
+        assert!(spq_m > 25.0 * 2.0, "SPQ QoSm p999 {spq_m} us");
+    }
+}

@@ -1,0 +1,650 @@
+//! The discrete-event engine: event dispatch, switching, host callbacks.
+
+use crate::packet::Packet;
+use crate::port::{Port, PortStats, SchedulerKind};
+use crate::topology::{HostId, NodeRef, SwitchId, Topology};
+use aequitas_sim_core::{EventQueue, SimRng, SimTime};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scheduler used on every switch egress port.
+    pub switch_scheduler: SchedulerKind,
+    /// Scheduler used on every host NIC egress port. Hosts also apply QoS
+    /// (paper footnote 2: NICs support WFQs too); default mirrors the fabric.
+    pub host_scheduler: SchedulerKind,
+    /// Buffer capacity per switch egress port, bytes (`None` = unbounded,
+    /// used by the theory-validation runs).
+    pub switch_buffer_bytes: Option<u64>,
+    /// Buffer capacity per host NIC egress port, bytes. `None` models
+    /// transport/NIC backpressure (a host never drops its own packets);
+    /// the transport's congestion windows bound the backlog.
+    pub host_buffer_bytes: Option<u64>,
+    /// Number of QoS classes carried in the fabric.
+    pub classes: usize,
+    /// Fault injection: probability that a packet arriving at a *switch* is
+    /// dropped (models link corruption/soft errors). 0.0 disables. Uses a
+    /// deterministic stream seeded from `loss_seed`.
+    pub loss_probability: f64,
+    /// Seed for the loss stream.
+    pub loss_seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's default fabric: 3 QoS classes, WFQ 8:4:1, 2 MB port
+    /// buffers, matching host NIC scheduling.
+    pub fn default_3qos() -> Self {
+        let weights = vec![8.0, 4.0, 1.0];
+        EngineConfig {
+            switch_scheduler: SchedulerKind::Wfq(weights.clone()),
+            host_scheduler: SchedulerKind::Wfq(weights),
+            switch_buffer_bytes: Some(2 << 20),
+            host_buffer_bytes: None,
+            classes: 3,
+            loss_probability: 0.0,
+            loss_seed: 0,
+        }
+    }
+
+    /// 2-QoS variant with weights 4:1 (the §6.2 microbenchmarks).
+    pub fn default_2qos() -> Self {
+        let weights = vec![4.0, 1.0];
+        EngineConfig {
+            switch_scheduler: SchedulerKind::Wfq(weights.clone()),
+            host_scheduler: SchedulerKind::Wfq(weights),
+            switch_buffer_bytes: Some(2 << 20),
+            host_buffer_bytes: None,
+            classes: 2,
+            loss_probability: 0.0,
+            loss_seed: 0,
+        }
+    }
+}
+
+/// Actions a host agent can request during a callback. Buffered and applied
+/// by the engine after the callback returns (avoids aliasing the engine from
+/// inside the agent).
+#[derive(Debug, Default)]
+pub struct HostActions {
+    send: Vec<Packet>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+/// Callback context handed to a [`HostAgent`].
+pub struct HostCtx<'a> {
+    now: SimTime,
+    host: HostId,
+    actions: &'a mut HostActions,
+}
+
+impl HostCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This host's id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Hand a packet to the NIC for transmission.
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.send.push(pkt);
+    }
+
+    /// Request a timer callback at absolute time `at` with an agent-chosen
+    /// token. Timers are not cancellable; agents ignore stale tokens.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.actions.timers.push((at, token));
+    }
+}
+
+/// The per-host protocol logic (transport + RPC stack + admission control
+/// live behind this trait in higher crates).
+pub trait HostAgent {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut HostCtx);
+    /// Called when a packet addressed to this host arrives.
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet);
+    /// Called when a timer set via [`HostCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64);
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Packet fully arrived at a node (serialization + propagation done).
+    Arrive { node: NodeRef, pkt: Packet },
+    /// An egress port finished serializing its in-flight packet.
+    TxDone { node: NodeRef, port: usize },
+    /// Host timer.
+    Timer { host: HostId, token: u64 },
+}
+
+struct SwitchState {
+    ports: Vec<Port>,
+}
+
+struct HostState {
+    nic: Port,
+}
+
+/// The simulator engine, generic over the host agent type.
+pub struct Engine<A: HostAgent> {
+    queue: EventQueue<Event>,
+    topo: Topology,
+    config: EngineConfig,
+    switches: Vec<SwitchState>,
+    hosts: Vec<HostState>,
+    agents: Vec<A>,
+    scratch_actions: HostActions,
+    started: bool,
+    events_processed: u64,
+    loss_rng: SimRng,
+    injected_losses: u64,
+}
+
+impl<A: HostAgent> Engine<A> {
+    /// Build an engine over `topo` with one agent per host.
+    pub fn new(topo: Topology, agents: Vec<A>, config: EngineConfig) -> Self {
+        assert_eq!(
+            agents.len(),
+            topo.num_hosts(),
+            "need one agent per host"
+        );
+        let switches = topo
+            .switch_ports
+            .iter()
+            .map(|ports| SwitchState {
+                ports: ports
+                    .iter()
+                    .map(|_| {
+                        Port::new(
+                            &config.switch_scheduler,
+                            config.switch_buffer_bytes,
+                            config.classes,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let hosts = topo
+            .host_ports
+            .iter()
+            .map(|_| HostState {
+                nic: Port::new(
+                    &config.host_scheduler,
+                    config.host_buffer_bytes,
+                    config.classes,
+                ),
+            })
+            .collect();
+        let loss_rng = SimRng::new(config.loss_seed ^ 0x10_55);
+        Engine {
+            queue: EventQueue::new(),
+            topo,
+            config,
+            switches,
+            hosts,
+            agents,
+            scratch_actions: HostActions::default(),
+            started: false,
+            events_processed: 0,
+            loss_rng,
+            injected_losses: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to the agents (for collecting results).
+    pub fn agents(&self) -> &[A] {
+        &self.agents
+    }
+
+    /// Mutable access to the agents.
+    pub fn agents_mut(&mut self) -> &mut [A] {
+        &mut self.agents
+    }
+
+    /// Stats of a switch egress port.
+    pub fn switch_port_stats(&self, sw: SwitchId, port: usize) -> &PortStats {
+        &self.switches[sw.0].ports[port].stats
+    }
+
+    /// Stats of a host NIC port.
+    pub fn host_nic_stats(&self, host: HostId) -> &PortStats {
+        &self.hosts[host.0].nic.stats
+    }
+
+    /// Queued bytes at a switch egress port right now.
+    pub fn switch_port_backlog(&self, sw: SwitchId, port: usize) -> u64 {
+        self.switches[sw.0].ports[port].backlog_bytes()
+    }
+
+    /// Queued packets of `class` at a switch egress port right now.
+    pub fn switch_port_class_packets(&self, sw: SwitchId, port: usize, class: usize) -> usize {
+        self.switches[sw.0].ports[port].class_backlog_packets(class)
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn call_agent<F: FnOnce(&mut A, &mut HostCtx)>(&mut self, host: HostId, f: F) {
+        let now = self.queue.now();
+        let actions = &mut self.scratch_actions;
+        {
+            let mut ctx = HostCtx {
+                now,
+                host,
+                actions,
+            };
+            f(&mut self.agents[host.0], &mut ctx);
+        }
+        // Apply buffered actions.
+        let send = std::mem::take(&mut self.scratch_actions.send);
+        let timers = std::mem::take(&mut self.scratch_actions.timers);
+        for pkt in send {
+            self.host_transmit(host, pkt);
+        }
+        for (at, token) in timers {
+            let at = at.max(now);
+            self.queue.schedule(at, Event::Timer { host, token });
+        }
+    }
+
+    /// Hand `pkt` to `host`'s NIC: enqueue and kick the transmitter.
+    fn host_transmit(&mut self, host: HostId, pkt: Packet) {
+        let nic = &mut self.hosts[host.0].nic;
+        if nic.enqueue(pkt) {
+            self.kick_port(NodeRef::Host(host));
+        }
+    }
+
+    /// Start transmission on an idle port if it has queued packets.
+    fn kick_port(&mut self, node: NodeRef) {
+        let (port_idx_iter, _) = match node {
+            NodeRef::Host(_) => (0..1, ()),
+            NodeRef::Switch(s) => (0..self.switches[s.0].ports.len(), ()),
+        };
+        for port in port_idx_iter {
+            self.kick_one(node, port);
+        }
+    }
+
+    fn kick_one(&mut self, node: NodeRef, port: usize) {
+        let now = self.queue.now();
+        let (port_state, link) = match node {
+            NodeRef::Host(h) => (&mut self.hosts[h.0].nic, self.topo.host_ports[h.0].link),
+            NodeRef::Switch(s) => (
+                &mut self.switches[s.0].ports[port],
+                self.topo.switch_ports[s.0][port].link,
+            ),
+        };
+        if port_state.in_flight.is_some() {
+            return;
+        }
+        if let Some(pkt) = port_state.dequeue() {
+            let ser = link.rate.serialize_time(pkt.size_bytes as u64);
+            port_state.in_flight = Some(pkt);
+            self.queue.schedule(now + ser, Event::TxDone { node, port });
+        }
+    }
+
+    /// Packets destroyed by fault injection so far.
+    pub fn injected_losses(&self) -> u64 {
+        self.injected_losses
+    }
+
+    /// Dispatch one event. Returns false when the queue is empty.
+    fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        match ev.event {
+            Event::Arrive { node, pkt } => match node {
+                NodeRef::Host(h) => {
+                    debug_assert_eq!(pkt.dst(), h, "packet misrouted to host {}", h.0);
+                    self.call_agent(h, |agent, ctx| agent.on_packet(ctx, pkt));
+                }
+                NodeRef::Switch(s) => {
+                    if self.config.loss_probability > 0.0
+                        && self.loss_rng.bernoulli(self.config.loss_probability)
+                    {
+                        self.injected_losses += 1;
+                        return true; // fault injection: packet vanishes
+                    }
+                    let port = self.topo.route(s, pkt.dst(), pkt.flow.ecmp_hash());
+                    if self.switches[s.0].ports[port].enqueue(pkt) {
+                        self.kick_one(node, port);
+                    }
+                }
+            },
+            Event::TxDone { node, port } => {
+                // Deliver the in-flight packet to the peer after propagation,
+                // then start the next transmission.
+                let (pkt, peer, prop) = match node {
+                    NodeRef::Host(h) => {
+                        let spec = self.topo.host_ports[h.0];
+                        (
+                            self.hosts[h.0].nic.in_flight.take(),
+                            spec.peer,
+                            spec.link.propagation,
+                        )
+                    }
+                    NodeRef::Switch(s) => {
+                        let spec = self.topo.switch_ports[s.0][port];
+                        (
+                            self.switches[s.0].ports[port].in_flight.take(),
+                            spec.peer,
+                            spec.link.propagation,
+                        )
+                    }
+                };
+                let mut pkt = pkt.expect("TxDone without in-flight packet");
+                let now = self.queue.now();
+                // NIC hardware timestamping: a host stamps each packet as it
+                // leaves the wire, so RTT measurements exclude local queuing
+                // (as Swift does). Switch forwarding leaves the stamp alone.
+                if matches!(node, NodeRef::Host(_)) {
+                    pkt.sent_at = now;
+                }
+                self.queue
+                    .schedule(now + prop, Event::Arrive { node: peer, pkt });
+                self.kick_one(node, port);
+            }
+            Event::Timer { host, token } => {
+                self.call_agent(host, |agent, ctx| agent.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Run until simulated time reaches `end` (or the event queue drains).
+    pub fn run_until(&mut self, end: SimTime) {
+        if !self.started {
+            self.started = true;
+            for h in 0..self.topo.num_hosts() {
+                self.call_agent(HostId(h), |agent, ctx| agent.on_start(ctx));
+            }
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Number of configured QoS classes.
+    pub fn classes(&self) -> usize {
+        self.config.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, PacketKind};
+    use crate::topology::LinkSpec;
+    use aequitas_sim_core::{SimDuration, SimTime};
+
+    /// A trivial agent: sends `n` packets to a fixed peer at start, records
+    /// every packet it receives (time, id), echoes nothing.
+    struct Blaster {
+        peer: Option<HostId>,
+        n: u64,
+        class: u8,
+        size: u32,
+        received: Vec<(SimTime, u64)>,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Blaster {
+        fn sender(peer: HostId, n: u64, class: u8, size: u32) -> Self {
+            Blaster {
+                peer: Some(peer),
+                n,
+                class,
+                size,
+                received: Vec::new(),
+                timer_fired: Vec::new(),
+            }
+        }
+        fn sink() -> Self {
+            Blaster {
+                peer: None,
+                n: 0,
+                class: 0,
+                size: 0,
+                received: Vec::new(),
+                timer_fired: Vec::new(),
+            }
+        }
+    }
+
+    impl HostAgent for Blaster {
+        fn on_start(&mut self, ctx: &mut HostCtx) {
+            if let Some(peer) = self.peer {
+                for i in 0..self.n {
+                    ctx.send(Packet {
+                        id: ctx.host().0 as u64 * 1_000_000 + i,
+                        flow: FlowKey {
+                            src: ctx.host(),
+                            dst: peer,
+                            class: self.class,
+                        },
+                        size_bytes: self.size,
+                        kind: PacketKind::Data {
+                            msg_id: 0,
+                            seq: i as u32,
+                            is_last: i == self.n - 1,
+                        },
+                        sent_at: ctx.now(),
+                        rank: 0,
+                    });
+                }
+                ctx.set_timer(ctx.now() + SimDuration::from_us(5), 42);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+            self.received.push((ctx.now(), pkt.id));
+        }
+        fn on_timer(&mut self, _ctx: &mut HostCtx, token: u64) {
+            self.timer_fired.push(token);
+        }
+    }
+
+    fn cfg2() -> EngineConfig {
+        EngineConfig::default_2qos()
+    }
+
+    #[test]
+    fn single_packet_end_to_end_latency_is_exact() {
+        // Host0 -> switch -> host1 at 100 Gbps, 500 ns propagation per hop.
+        // 4096+64 = 4160 B packet: ser = 332.8 ns. Two serializations (host
+        // NIC + switch port) + two propagations = 2*332.8 + 2*500 = 1665.6 ns.
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![Blaster::sender(HostId(1), 1, 0, 4160), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, cfg2());
+        eng.run_until(SimTime::from_ms(1));
+        let rx = &eng.agents()[1].received;
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].0.as_ps(), 2 * 332_800 + 2 * 500_000);
+    }
+
+    #[test]
+    fn packets_arrive_in_order_and_all() {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![Blaster::sender(HostId(1), 100, 0, 1500), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, cfg2());
+        eng.run_until(SimTime::from_ms(10));
+        let rx = &eng.agents()[1].received;
+        assert_eq!(rx.len(), 100);
+        for (i, w) in rx.windows(2).enumerate() {
+            assert!(w[0].1 < w[1].1, "out of order at {i}");
+        }
+    }
+
+    #[test]
+    fn timer_fires() {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![Blaster::sender(HostId(1), 1, 0, 100), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, cfg2());
+        eng.run_until(SimTime::from_ms(1));
+        assert_eq!(eng.agents()[0].timer_fired, vec![42]);
+    }
+
+    #[test]
+    fn wfq_shares_bottleneck_by_class() {
+        // Hosts 0 and 1 both blast to host 2; host 0 on class 0, host 1 on
+        // class 1, weights 4:1. While both backlogged at the switch->host2
+        // port, class 0 should receive ~4x the bytes.
+        let topo = Topology::star(3, LinkSpec::default_100g());
+        let agents = vec![
+            Blaster::sender(HostId(2), 2000, 0, 4160),
+            Blaster::sender(HostId(2), 2000, 1, 4160),
+            Blaster::sink(),
+        ];
+        let mut eng = Engine::new(topo, agents, cfg2());
+        // Stop early while both classes are still backlogged.
+        eng.run_until(SimTime::from_us(200));
+        let stats = eng.switch_port_stats(SwitchId(0), 2);
+        let b0 = stats.tx_bytes[0] as f64;
+        let b1 = stats.tx_bytes[1] as f64;
+        let share = b0 / (b0 + b1);
+        assert!((share - 0.8).abs() < 0.05, "class-0 share {share}");
+    }
+
+    #[test]
+    fn finite_buffer_drops_and_counts() {
+        // Tiny switch buffer, two line-rate senders into one port: must drop.
+        let topo = Topology::star(3, LinkSpec::default_100g());
+        let mut config = cfg2();
+        config.switch_buffer_bytes = Some(20_000);
+        // Unbounded NIC buffers so every loss is attributable to the switch.
+        config.host_buffer_bytes = None;
+        let agents = vec![
+            Blaster::sender(HostId(2), 1000, 0, 4160),
+            Blaster::sender(HostId(2), 1000, 0, 4160),
+            Blaster::sink(),
+        ];
+        let mut eng = Engine::new(topo, agents, config);
+        eng.run_until(SimTime::from_ms(5));
+        let stats = eng.switch_port_stats(SwitchId(0), 2);
+        assert!(stats.total_drops() > 0, "expected drops");
+        let received = eng.agents()[2].received.len() as u64;
+        assert_eq!(received + stats.total_drops(), 2000);
+    }
+
+    #[test]
+    fn leaf_spine_delivers_across_racks() {
+        let topo = Topology::leaf_spine(2, 2, 2, LinkSpec::default_100g(), LinkSpec::default_100g());
+        let agents = vec![
+            Blaster::sender(HostId(3), 50, 0, 1500),
+            Blaster::sink(),
+            Blaster::sink(),
+            Blaster::sink(),
+        ];
+        let mut eng = Engine::new(topo, agents, cfg2());
+        eng.run_until(SimTime::from_ms(10));
+        assert_eq!(eng.agents()[3].received.len(), 50);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = Topology::star(3, LinkSpec::default_100g());
+            let agents = vec![
+                Blaster::sender(HostId(2), 500, 0, 4160),
+                Blaster::sender(HostId(2), 500, 1, 4160),
+                Blaster::sink(),
+            ];
+            let mut eng = Engine::new(topo, agents, cfg2());
+            eng.run_until(SimTime::from_ms(2));
+            eng.agents()[2].received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod ecmp_tests {
+    use super::*;
+    use crate::packet::{FlowKey, PacketKind};
+    use crate::topology::LinkSpec;
+    use aequitas_sim_core::SimTime;
+
+    /// Sends one packet per (class) flow from every host in rack 0 to every
+    /// host in rack 1 and checks the spine uplinks all carried traffic.
+    struct FanOut;
+    impl HostAgent for FanOut {
+        fn on_start(&mut self, ctx: &mut HostCtx) {
+            let me = ctx.host().0;
+            if me < 8 {
+                for dst in 8..16usize {
+                    for class in 0..3u8 {
+                        ctx.send(Packet {
+                            id: (me * 100 + dst * 3 + class as usize) as u64,
+                            flow: FlowKey {
+                                src: ctx.host(),
+                                dst: HostId(dst),
+                                class,
+                            },
+                            size_bytes: 1500,
+                            kind: PacketKind::Data {
+                                msg_id: 0,
+                                seq: 0,
+                                is_last: true,
+                            },
+                            sent_at: ctx.now(),
+                            rank: 0,
+                        });
+                    }
+                }
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut HostCtx, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut HostCtx, _token: u64) {}
+    }
+
+    #[test]
+    fn ecmp_spreads_cross_rack_traffic_over_spines() {
+        let topo = Topology::leaf_spine(
+            2,
+            8,
+            4,
+            LinkSpec::default_100g(),
+            LinkSpec::default_100g(),
+        );
+        let agents = (0..16).map(|_| FanOut).collect();
+        let mut eng = Engine::new(topo, agents, EngineConfig::default_3qos());
+        eng.run_until(SimTime::from_ms(5));
+        // ToR 0's four uplinks are ports 8..12; every spine should carry a
+        // share of the 192 cross-rack flows.
+        let mut carried = Vec::new();
+        for port in 8..12 {
+            let stats = eng.switch_port_stats(SwitchId(0), port);
+            carried.push(stats.tx_packets.iter().sum::<u64>());
+        }
+        let total: u64 = carried.iter().sum();
+        assert_eq!(total, 192, "all flows must cross the fabric: {carried:?}");
+        for (i, &c) in carried.iter().enumerate() {
+            assert!(
+                c > 20,
+                "spine {i} underused: {carried:?} (ECMP hash imbalance?)"
+            );
+        }
+    }
+}

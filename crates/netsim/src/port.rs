@@ -1,0 +1,186 @@
+//! Egress ports: a scheduler plus a transmitter.
+
+use crate::packet::Packet;
+use aequitas_qdisc::{
+    Dequeued, DwrrScheduler, FifoScheduler, PifoPush, PifoQueue, Scheduler, SpqScheduler,
+    WfqScheduler,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling discipline an egress port runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Virtual-time WFQ with the given class weights.
+    Wfq(Vec<f64>),
+    /// Deficit weighted round robin with the given weights and quantum.
+    Dwrr {
+        /// Class weights.
+        weights: Vec<f64>,
+        /// Base quantum in bytes for a weight-1.0 class.
+        quantum: u32,
+    },
+    /// Strict priority with `n` classes (0 = highest).
+    Spq(usize),
+    /// Single FIFO accepting `n` classes.
+    Fifo(usize),
+    /// PIFO ranked queue (pFabric-style): dequeue lowest `Packet::rank`,
+    /// evict highest rank on overflow.
+    Pifo,
+}
+
+/// Counters exported by every port.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Packets transmitted per class.
+    pub tx_packets: Vec<u64>,
+    /// Bytes transmitted per class.
+    pub tx_bytes: Vec<u64>,
+    /// Packets dropped at enqueue per class.
+    pub drops: Vec<u64>,
+}
+
+impl PortStats {
+    fn new(classes: usize) -> Self {
+        PortStats {
+            tx_packets: vec![0; classes],
+            tx_bytes: vec![0; classes],
+            drops: vec![0; classes],
+        }
+    }
+
+    /// Total transmitted bytes across classes.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.tx_bytes.iter().sum()
+    }
+
+    /// Total drops across classes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+}
+
+enum Sched {
+    Wfq(WfqScheduler<Packet>),
+    Dwrr(DwrrScheduler<Packet>),
+    Spq(SpqScheduler<Packet>),
+    Fifo(FifoScheduler<Packet>),
+    Pifo(PifoQueue<Packet>),
+}
+
+/// An egress port: scheduler, byte counters, and the in-flight transmission.
+pub(crate) struct Port {
+    sched: Sched,
+    /// Packet currently being serialized onto the wire, if any.
+    pub(crate) in_flight: Option<Packet>,
+    pub(crate) stats: PortStats,
+}
+
+impl Port {
+    pub(crate) fn new(kind: &SchedulerKind, capacity_bytes: Option<u64>, classes: usize) -> Self {
+        let sched = match kind {
+            SchedulerKind::Wfq(weights) => {
+                assert_eq!(weights.len(), classes);
+                Sched::Wfq(WfqScheduler::new(weights, capacity_bytes))
+            }
+            SchedulerKind::Dwrr { weights, quantum } => {
+                assert_eq!(weights.len(), classes);
+                Sched::Dwrr(DwrrScheduler::new(weights, *quantum, capacity_bytes))
+            }
+            SchedulerKind::Spq(n) => {
+                assert_eq!(*n, classes);
+                Sched::Spq(SpqScheduler::new(*n, capacity_bytes))
+            }
+            SchedulerKind::Fifo(n) => {
+                assert_eq!(*n, classes);
+                Sched::Fifo(FifoScheduler::new(*n, capacity_bytes))
+            }
+            SchedulerKind::Pifo => Sched::Pifo(PifoQueue::new(capacity_bytes)),
+        };
+        Port {
+            sched,
+            in_flight: None,
+            stats: PortStats::new(classes),
+        }
+    }
+
+    /// Enqueue a packet; returns false (and counts the drop) if it was
+    /// rejected. A PIFO may instead evict a resident lower-priority packet.
+    pub(crate) fn enqueue(&mut self, pkt: Packet) -> bool {
+        let class = pkt.class().min(self.stats.drops.len() - 1);
+        let bytes = pkt.size_bytes;
+        let ok = match &mut self.sched {
+            Sched::Wfq(s) => s.enqueue(pkt.class(), bytes, pkt).is_ok(),
+            Sched::Dwrr(s) => s.enqueue(pkt.class(), bytes, pkt).is_ok(),
+            Sched::Spq(s) => s.enqueue(pkt.class(), bytes, pkt).is_ok(),
+            Sched::Fifo(s) => s.enqueue(pkt.class(), bytes, pkt).is_ok(),
+            Sched::Pifo(q) => match q.push(pkt.rank, bytes, pkt) {
+                PifoPush::Admitted => true,
+                PifoPush::Evicted(_, _, victim) => {
+                    let vclass = victim.class().min(self.stats.drops.len() - 1);
+                    self.stats.drops[vclass] += 1;
+                    true
+                }
+                PifoPush::Rejected(_) => false,
+            },
+        };
+        if !ok {
+            self.stats.drops[class] += 1;
+        }
+        ok
+    }
+
+    /// Take the next packet for transmission.
+    pub(crate) fn dequeue(&mut self) -> Option<Packet> {
+        let (class, bytes, pkt) = match &mut self.sched {
+            Sched::Wfq(s) => s.dequeue().map(
+                |Dequeued { class, bytes, item }| (class, bytes, item),
+            )?,
+            Sched::Dwrr(s) => s.dequeue().map(
+                |Dequeued { class, bytes, item }| (class, bytes, item),
+            )?,
+            Sched::Spq(s) => s.dequeue().map(
+                |Dequeued { class, bytes, item }| (class, bytes, item),
+            )?,
+            Sched::Fifo(s) => s.dequeue().map(
+                |Dequeued { class, bytes, item }| (class, bytes, item),
+            )?,
+            Sched::Pifo(q) => q.pop().map(|(_, bytes, item)| {
+                let c = item.class();
+                (c, bytes, item)
+            })?,
+        };
+        let class = class.min(self.stats.tx_packets.len() - 1);
+        self.stats.tx_packets[class] += 1;
+        self.stats.tx_bytes[class] += bytes as u64;
+        Some(pkt)
+    }
+
+    /// Queued bytes (excluding the in-flight packet).
+    pub(crate) fn backlog_bytes(&self) -> u64 {
+        match &self.sched {
+            Sched::Wfq(s) => s.backlog_bytes(),
+            Sched::Dwrr(s) => s.backlog_bytes(),
+            Sched::Spq(s) => s.backlog_bytes(),
+            Sched::Fifo(s) => s.backlog_bytes(),
+            Sched::Pifo(q) => q.backlog_bytes(),
+        }
+    }
+
+    /// Queued packets per class.
+    pub(crate) fn class_backlog_packets(&self, class: usize) -> usize {
+        match &self.sched {
+            Sched::Wfq(s) => s.class_backlog_packets(class),
+            Sched::Dwrr(s) => s.class_backlog_packets(class),
+            Sched::Spq(s) => s.class_backlog_packets(class),
+            Sched::Fifo(s) => s.class_backlog_packets(class),
+            // PIFO has no class queues; report everything under class 0.
+            Sched::Pifo(q) => {
+                if class == 0 {
+                    q.backlog_packets()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}

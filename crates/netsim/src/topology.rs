@@ -1,0 +1,253 @@
+//! Network topologies and routing.
+
+use aequitas_sim_core::{BitRate, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A host (end system) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub usize);
+
+/// A switch index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub usize);
+
+/// Either kind of node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A host.
+    Host(HostId),
+    /// A switch.
+    Switch(SwitchId),
+}
+
+/// Physical properties of one direction of a link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Transmission rate.
+    pub rate: BitRate,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+}
+
+impl LinkSpec {
+    /// A typical 100 Gbps intra-cluster link with 500 ns propagation
+    /// (a few switch hops' worth of wire).
+    pub fn default_100g() -> Self {
+        LinkSpec {
+            rate: BitRate::from_gbps(100),
+            propagation: SimDuration::from_ns(500),
+        }
+    }
+}
+
+/// One egress port of a node: where it leads and over what link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// The node at the far end.
+    pub peer: NodeRef,
+    /// Link characteristics.
+    pub link: LinkSpec,
+}
+
+/// A network topology: hosts, switches, their ports, and routing.
+///
+/// Hosts always have exactly one port (their NIC uplink). Routing is
+/// destination-based with optional ECMP: a switch may list several candidate
+/// egress ports for a destination and the engine picks one by flow hash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// Per-host uplink port.
+    pub host_ports: Vec<PortSpec>,
+    /// Per-switch list of egress ports.
+    pub switch_ports: Vec<Vec<PortSpec>>,
+    /// `routes[switch][dst_host]` = candidate egress port indices.
+    pub routes: Vec<Vec<Vec<usize>>>,
+}
+
+impl Topology {
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.host_ports.len()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switch_ports.len()
+    }
+
+    /// Select the egress port at `sw` toward `dst` for a flow with the given
+    /// hash (ECMP pick among candidates).
+    pub fn route(&self, sw: SwitchId, dst: HostId, flow_hash: u64) -> usize {
+        let candidates = &self.routes[sw.0][dst.0];
+        assert!(
+            !candidates.is_empty(),
+            "no route from switch {} to host {}",
+            sw.0,
+            dst.0
+        );
+        candidates[(flow_hash % candidates.len() as u64) as usize]
+    }
+
+    /// A single-switch star: `n` hosts all attached to one switch.
+    ///
+    /// This realizes both the paper's 3-node microbenchmark (two clients and
+    /// a server; the switch→server port is the bottleneck) and the 33-node /
+    /// 20-node single-switch setups.
+    pub fn star(n: usize, link: LinkSpec) -> Topology {
+        assert!(n >= 2);
+        let host_ports = (0..n)
+            .map(|_| PortSpec {
+                peer: NodeRef::Switch(SwitchId(0)),
+                link,
+            })
+            .collect();
+        let switch_ports = vec![(0..n)
+            .map(|h| PortSpec {
+                peer: NodeRef::Host(HostId(h)),
+                link,
+            })
+            .collect::<Vec<_>>()];
+        let routes = vec![(0..n).map(|h| vec![h]).collect()];
+        Topology {
+            host_ports,
+            switch_ports,
+            routes,
+        }
+    }
+
+    /// A two-tier leaf–spine fabric: `racks × hosts_per_rack` hosts, one ToR
+    /// per rack, `spines` spine switches, every ToR connected to every spine.
+    ///
+    /// `uplink` may be slower than `link` to model oversubscription. Flows
+    /// between racks are ECMP-spread over the spines by flow hash. Switch
+    /// ids: ToRs are `0..racks`, spines are `racks..racks+spines`.
+    pub fn leaf_spine(
+        racks: usize,
+        hosts_per_rack: usize,
+        spines: usize,
+        link: LinkSpec,
+        uplink: LinkSpec,
+    ) -> Topology {
+        assert!(racks >= 1 && hosts_per_rack >= 1 && spines >= 1);
+        let n = racks * hosts_per_rack;
+        let host_ports: Vec<PortSpec> = (0..n)
+            .map(|h| PortSpec {
+                peer: NodeRef::Switch(SwitchId(h / hosts_per_rack)),
+                link,
+            })
+            .collect();
+
+        let mut switch_ports = Vec::with_capacity(racks + spines);
+        let mut routes = Vec::with_capacity(racks + spines);
+
+        // ToR r: ports 0..hosts_per_rack go to local hosts; ports
+        // hosts_per_rack..hosts_per_rack+spines go to spines.
+        for r in 0..racks {
+            let mut ports = Vec::new();
+            for h in 0..hosts_per_rack {
+                ports.push(PortSpec {
+                    peer: NodeRef::Host(HostId(r * hosts_per_rack + h)),
+                    link,
+                });
+            }
+            for s in 0..spines {
+                ports.push(PortSpec {
+                    peer: NodeRef::Switch(SwitchId(racks + s)),
+                    link: uplink,
+                });
+            }
+            let mut tor_routes = Vec::with_capacity(n);
+            for dst in 0..n {
+                if dst / hosts_per_rack == r {
+                    tor_routes.push(vec![dst % hosts_per_rack]);
+                } else {
+                    // Any spine uplink.
+                    tor_routes.push((0..spines).map(|s| hosts_per_rack + s).collect());
+                }
+            }
+            switch_ports.push(ports);
+            routes.push(tor_routes);
+        }
+
+        // Spine s: one port per rack.
+        for _s in 0..spines {
+            let ports: Vec<PortSpec> = (0..racks)
+                .map(|r| PortSpec {
+                    peer: NodeRef::Switch(SwitchId(r)),
+                    link: uplink,
+                })
+                .collect();
+            let spine_routes: Vec<Vec<usize>> =
+                (0..n).map(|dst| vec![dst / hosts_per_rack]).collect();
+            switch_ports.push(ports);
+            routes.push(spine_routes);
+        }
+
+        Topology {
+            host_ports,
+            switch_ports,
+            routes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::default_100g()
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(3, link());
+        assert_eq!(t.num_hosts(), 3);
+        assert_eq!(t.num_switches(), 1);
+        assert_eq!(t.switch_ports[0].len(), 3);
+        assert_eq!(t.route(SwitchId(0), HostId(2), 12345), 2);
+        for h in 0..3 {
+            assert_eq!(t.host_ports[h].peer, NodeRef::Switch(SwitchId(0)));
+        }
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let t = Topology::leaf_spine(3, 4, 2, link(), link());
+        assert_eq!(t.num_hosts(), 12);
+        assert_eq!(t.num_switches(), 5); // 3 ToRs + 2 spines
+        // ToR 0 has 4 host ports + 2 uplinks.
+        assert_eq!(t.switch_ports[0].len(), 6);
+        // Spines have 3 ports (one per rack).
+        assert_eq!(t.switch_ports[3].len(), 3);
+        // Host 5 is in rack 1.
+        assert_eq!(t.host_ports[5].peer, NodeRef::Switch(SwitchId(1)));
+    }
+
+    #[test]
+    fn leaf_spine_routing_local_and_remote() {
+        let t = Topology::leaf_spine(2, 2, 2, link(), link());
+        // ToR 0 to local host 1: direct port 1.
+        assert_eq!(t.route(SwitchId(0), HostId(1), 99), 1);
+        // ToR 0 to remote host 3: one of the uplink ports (2 or 3).
+        let p = t.route(SwitchId(0), HostId(3), 7);
+        assert!(p == 2 || p == 3);
+        // ECMP is deterministic per hash.
+        assert_eq!(
+            t.route(SwitchId(0), HostId(3), 7),
+            t.route(SwitchId(0), HostId(3), 7)
+        );
+        // Spine 0 (switch id 2) to host 3 -> rack 1 port.
+        assert_eq!(t.route(SwitchId(2), HostId(3), 0), 1);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let t = Topology::leaf_spine(2, 2, 4, link(), link());
+        let mut used = std::collections::HashSet::new();
+        for h in 0..200u64 {
+            used.insert(t.route(SwitchId(0), HostId(3), h));
+        }
+        assert_eq!(used.len(), 4, "all four spines should attract some flows");
+    }
+}

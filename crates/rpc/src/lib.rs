@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The RPC stack: where Aequitas lives (Fig. 6 of the paper).
+//!
+//! Applications issue RPCs on channels annotated with a [`Priority`]; the
+//! stack maps priority to a requested QoS (Phase 1), consults the admission
+//! policy for an admit-or-downgrade decision (Phase 2), hands the message to
+//! the transport, and — when the transport reports completion — computes the
+//! RPC Network Latency (RNL) and feeds it back into the policy.
+//!
+//! Two components:
+//!
+//! * [`RpcStack`] — the per-host stack combining mapping, policy, transport,
+//!   and RNL bookkeeping.
+//! * [`WorkloadHost`] — a ready-made [`HostAgent`] that drives an
+//!   [`ArrivalProcess`]/[`TrafficPattern`]/size-distribution workload
+//!   through an `RpcStack`; all macro experiments use it.
+
+pub mod driver;
+pub mod stack;
+
+pub use driver::{PrioritySpec, WorkloadHost, WorkloadSpec};
+pub use stack::{Policy, RpcCompletion, RpcStack};
+
+pub use aequitas_workloads::{ArrivalProcess, Priority, QosClass, QosMapping, TrafficPattern};

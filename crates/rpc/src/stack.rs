@@ -1,0 +1,679 @@
+//! The per-host RPC stack.
+
+use aequitas::{AdmissionController, AequitasConfig, QuotaBucket, TenantId};
+use aequitas_netsim::{HostCtx, HostId, Packet};
+use aequitas_sim_core::{SimDuration, SimTime};
+use aequitas_transport::{Transport, TransportConfig};
+use aequitas_workloads::{size_in_mtus, Priority, QosClass, QosMapping};
+use std::collections::HashMap;
+
+/// The admission policy plugged into the stack.
+pub enum Policy {
+    /// No admission control: RPCs always run on their requested QoS
+    /// (the paper's "w/o Aequitas" baseline after Phase 1 alignment).
+    Static,
+    /// Aequitas Phase 2: Algorithm 1 admission control.
+    Aequitas(AdmissionController),
+    /// Ablation: Algorithm 1 decisions, but unadmitted RPCs are **dropped**
+    /// (rejected back to the application) instead of downgraded — the
+    /// traditional admission-control model the paper departs from.
+    AequitasDropExcess(AdmissionController),
+    /// Aequitas augmented with the §5.2 quota-server extension: RPCs
+    /// covered by the tenant's granted token rate bypass the admission
+    /// coin flip (they are within a guaranteed share); the rest compete
+    /// through Algorithm 1 as usual.
+    AequitasWithQuota {
+        /// The Algorithm 1 controller for beyond-quota traffic.
+        controller: AdmissionController,
+        /// This host's tenant.
+        tenant: TenantId,
+        /// QoS level the quota applies to.
+        quota_qos: u8,
+        /// Token bucket refilled at the granted rate.
+        bucket: QuotaBucket,
+        /// Offered bytes on `quota_qos` since the last usage report.
+        offered_since_report: u64,
+    },
+}
+
+impl Policy {
+    /// Build the Aequitas policy from a config and seed.
+    pub fn aequitas(config: AequitasConfig, seed: u64) -> Policy {
+        Policy::Aequitas(AdmissionController::new(config, seed))
+    }
+
+    /// Build the quota-augmented policy. The bucket starts at rate 0 until
+    /// the first grant arrives.
+    pub fn aequitas_with_quota(
+        config: AequitasConfig,
+        seed: u64,
+        tenant: TenantId,
+        quota_qos: u8,
+    ) -> Policy {
+        Policy::AequitasWithQuota {
+            controller: AdmissionController::new(config, seed),
+            tenant,
+            quota_qos,
+            bucket: QuotaBucket::new(0.0, 0.01, SimTime::ZERO),
+            offered_since_report: 0,
+        }
+    }
+}
+
+/// A completed RPC with its full QoS history and RNL.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcCompletion {
+    /// Sender-unique RPC id.
+    pub rpc_id: u64,
+    /// Sending host (the channel's source).
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Application priority class.
+    pub priority: Priority,
+    /// The QoS the application's priority mapped to.
+    pub qos_requested: QosClass,
+    /// The QoS the RPC actually ran on (differs when downgraded).
+    pub qos_run: QosClass,
+    /// Whether admission control downgraded the RPC (surfaced to the
+    /// application, Algorithm 1 lines 10–11).
+    pub downgraded: bool,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+    /// RNL `t0`: first byte handed to the transport.
+    pub issued_at: SimTime,
+    /// RNL `t1`: last byte acknowledged.
+    pub completed_at: SimTime,
+}
+
+impl RpcCompletion {
+    /// The RPC Network Latency.
+    pub fn rnl(&self) -> SimDuration {
+        self.completed_at.since(self.issued_at)
+    }
+
+    /// RNL divided by size in MTUs (the paper's normalized latency).
+    pub fn rnl_per_mtu(&self) -> SimDuration {
+        SimDuration::from_ps(self.rnl().as_ps() / size_in_mtus(self.size_bytes))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRpc {
+    priority: Priority,
+    qos_requested: QosClass,
+    qos_run: QosClass,
+    downgraded: bool,
+}
+
+/// Per-host RPC stack: priority→QoS mapping, admission policy, transport.
+pub struct RpcStack {
+    host: HostId,
+    mapping: QosMapping,
+    policy: Policy,
+    transport: Transport,
+    pending: HashMap<u64, PendingRpc>,
+    completions: Vec<RpcCompletion>,
+    next_rpc_id: u64,
+    dropped: u64,
+    dropped_bytes: u64,
+}
+
+impl RpcStack {
+    /// Build a stack for `host`.
+    pub fn new(
+        host: HostId,
+        mapping: QosMapping,
+        policy: Policy,
+        transport_config: TransportConfig,
+    ) -> Self {
+        if let Policy::Aequitas(ctl) = &policy {
+            assert_eq!(
+                ctl.config().levels(),
+                mapping.levels(),
+                "policy and mapping must agree on the number of QoS levels"
+            );
+        }
+        RpcStack {
+            host,
+            mapping,
+            policy,
+            transport: Transport::new(host, transport_config),
+            pending: HashMap::new(),
+            completions: Vec::new(),
+            next_rpc_id: (host.0 as u64) << 32,
+            dropped: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// This host.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The QoS mapping in use.
+    pub fn mapping(&self) -> &QosMapping {
+        &self.mapping
+    }
+
+    /// Issue an RPC of `size_bytes` with `priority` toward `dst`. Returns
+    /// the RPC id.
+    pub fn issue_rpc(
+        &mut self,
+        ctx: &mut HostCtx,
+        dst: HostId,
+        priority: Priority,
+        size_bytes: u64,
+    ) -> u64 {
+        let qos_requested = self.mapping.qos_for(priority);
+        let (qos_run, downgraded) = match &mut self.policy {
+            Policy::Static => (qos_requested, false),
+            Policy::Aequitas(ctl) => {
+                let d = ctl.on_issue(
+                    ctx.now(),
+                    dst.0,
+                    qos_requested.0,
+                    size_in_mtus(size_bytes),
+                );
+                (QosClass(d.qos_run), d.downgraded)
+            }
+            Policy::AequitasDropExcess(ctl) => {
+                let d = ctl.on_issue(
+                    ctx.now(),
+                    dst.0,
+                    qos_requested.0,
+                    size_in_mtus(size_bytes),
+                );
+                if d.downgraded {
+                    // Reject: the RPC never enters the network.
+                    self.dropped += 1;
+                    self.dropped_bytes += size_bytes;
+                    return u64::MAX;
+                }
+                (QosClass(d.qos_run), false)
+            }
+            Policy::AequitasWithQuota {
+                controller,
+                quota_qos,
+                bucket,
+                offered_since_report,
+                ..
+            } => {
+                if qos_requested.0 == *quota_qos {
+                    *offered_since_report += size_bytes;
+                    if bucket.try_consume(size_bytes, ctx.now()) {
+                        // Within the tenant's guaranteed share: admit.
+                        (qos_requested, false)
+                    } else {
+                        let d = controller.on_issue(
+                            ctx.now(),
+                            dst.0,
+                            qos_requested.0,
+                            size_in_mtus(size_bytes),
+                        );
+                        (QosClass(d.qos_run), d.downgraded)
+                    }
+                } else {
+                    let d = controller.on_issue(
+                        ctx.now(),
+                        dst.0,
+                        qos_requested.0,
+                        size_in_mtus(size_bytes),
+                    );
+                    (QosClass(d.qos_run), d.downgraded)
+                }
+            }
+        };
+        let rpc_id = self.next_rpc_id;
+        self.next_rpc_id += 1;
+        self.pending.insert(
+            rpc_id,
+            PendingRpc {
+                priority,
+                qos_requested,
+                qos_run,
+                downgraded,
+            },
+        );
+        self.transport
+            .send_message(ctx, dst, qos_run.0, rpc_id, size_bytes);
+        rpc_id
+    }
+
+    /// Forward a packet to the transport; harvest completions. Returns
+    /// `true` if the packet belonged to the transport.
+    pub fn handle_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) -> bool {
+        let consumed = self.transport.handle_packet(ctx, pkt);
+        self.harvest(ctx.now());
+        consumed
+    }
+
+    /// Forward a timer to the transport; harvest completions. Returns `true`
+    /// if the token belonged to the transport.
+    pub fn handle_timer(&mut self, ctx: &mut HostCtx, token: u64) -> bool {
+        let consumed = self.transport.handle_timer(ctx, token);
+        self.harvest(ctx.now());
+        consumed
+    }
+
+    /// Drain completed RPCs recorded since the last call.
+    pub fn take_completions(&mut self) -> Vec<RpcCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Admit probability currently maintained toward `(dst, qos)` (1.0 when
+    /// the policy is static).
+    pub fn admit_probability(&self, dst: HostId, qos: QosClass) -> f64 {
+        match &self.policy {
+            Policy::Static => 1.0,
+            Policy::Aequitas(ctl) | Policy::AequitasDropExcess(ctl) => {
+                ctl.admit_probability(dst.0, qos.0)
+            }
+            Policy::AequitasWithQuota { controller, .. } => {
+                controller.admit_probability(dst.0, qos.0)
+            }
+        }
+    }
+
+    /// Quota-extension control plane: drain the usage report for this
+    /// host's tenant, if the quota policy is active.
+    pub fn take_usage_report(&mut self) -> Option<aequitas::UsageReport> {
+        if let Policy::AequitasWithQuota {
+            tenant,
+            offered_since_report,
+            ..
+        } = &mut self.policy
+        {
+            let bytes = std::mem::take(offered_since_report);
+            Some(aequitas::UsageReport {
+                tenant: *tenant,
+                offered_bytes: bytes,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Quota-extension control plane: apply a new grant.
+    pub fn apply_grant(&mut self, grant: aequitas::Grant, now: SimTime) {
+        if let Policy::AequitasWithQuota { bucket, .. } = &mut self.policy {
+            bucket.set_rate(grant.rate_bps, now);
+        }
+    }
+
+    /// The underlying transport (read access for experiments).
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// RPCs issued but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// RPCs rejected by the drop-excess ablation policy, and their bytes.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped, self.dropped_bytes)
+    }
+
+    /// Issue-time admission counters `(issued, downgraded)` from the
+    /// controller, if one is active. Completion streams under-count
+    /// downgrades during overload (downgraded RPCs languish in the
+    /// scavenger backlog), so downgrade *rates* must come from here.
+    pub fn admission_counters(&self) -> Option<(u64, u64)> {
+        match &self.policy {
+            Policy::Static => None,
+            Policy::Aequitas(ctl) | Policy::AequitasDropExcess(ctl) => {
+                Some((ctl.issued(), ctl.downgraded()))
+            }
+            Policy::AequitasWithQuota { controller, .. } => {
+                Some((controller.issued(), controller.downgraded()))
+            }
+        }
+    }
+
+    fn harvest(&mut self, _now: SimTime) {
+        for done in self.transport.take_completions() {
+            let Some(info) = self.pending.remove(&done.msg_id) else {
+                debug_assert!(false, "completion for unknown rpc {}", done.msg_id);
+                continue;
+            };
+            let completion = RpcCompletion {
+                rpc_id: done.msg_id,
+                src: self.host,
+                dst: done.flow.dst,
+                priority: info.priority,
+                qos_requested: info.qos_requested,
+                qos_run: info.qos_run,
+                downgraded: info.downgraded,
+                size_bytes: done.size_bytes,
+                issued_at: done.issued_at,
+                completed_at: done.completed_at,
+            };
+            match &mut self.policy {
+                Policy::Aequitas(ctl)
+                | Policy::AequitasDropExcess(ctl)
+                | Policy::AequitasWithQuota {
+                    controller: ctl, ..
+                } => {
+                    ctl.on_completion(
+                        completion.completed_at,
+                        completion.dst.0,
+                        completion.qos_run.0,
+                        size_in_mtus(completion.size_bytes),
+                        completion.rnl(),
+                    );
+                }
+                Policy::Static => {}
+            }
+            self.completions.push(completion);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequitas::SloTarget;
+    use aequitas_netsim::{Engine, EngineConfig, HostAgent, LinkSpec, Topology};
+
+    /// Minimal agent for stack unit tests: issues scripted RPCs, a few at
+    /// start and one more per completion, so admission decisions interleave
+    /// with feedback.
+    struct TestHost {
+        stack: RpcStack,
+        script: Vec<(HostId, Priority, u64)>,
+        next: usize,
+        done: Vec<RpcCompletion>,
+    }
+
+    impl TestHost {
+        fn issue_upto(&mut self, ctx: &mut HostCtx, k: usize) {
+            while self.next < self.script.len() && self.next < k {
+                let (dst, prio, size) = self.script[self.next];
+                self.next += 1;
+                self.stack.issue_rpc(ctx, dst, prio, size);
+            }
+        }
+        fn harvest(&mut self, ctx: &mut HostCtx) {
+            let got = self.stack.take_completions();
+            if !got.is_empty() {
+                self.done.extend(got);
+                let k = self.next + self.done.len().max(1);
+                self.issue_upto(ctx, k.min(self.next + 8));
+            }
+        }
+    }
+
+    impl HostAgent for TestHost {
+        fn on_start(&mut self, ctx: &mut HostCtx) {
+            self.issue_upto(ctx, 4);
+        }
+        fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+            self.stack.handle_packet(ctx, pkt);
+            self.harvest(ctx);
+        }
+        fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+            self.stack.handle_timer(ctx, token);
+            self.harvest(ctx);
+        }
+    }
+
+    fn run_pair(script: Vec<(HostId, Priority, u64)>, policy: Policy) -> Vec<RpcCompletion> {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mk = |host: usize, policy: Policy, script: Vec<(HostId, Priority, u64)>| TestHost {
+            stack: RpcStack::new(
+                HostId(host),
+                QosMapping::three_level(),
+                policy,
+                TransportConfig::default(),
+            ),
+            script,
+            next: 0,
+            done: Vec::new(),
+        };
+        let agents = vec![mk(0, policy, script), mk(1, Policy::Static, vec![])];
+        let mut eng = Engine::new(topo, agents, EngineConfig::default_3qos());
+        eng.run_until(SimTime::from_ms(200));
+        let a = &mut eng.agents_mut()[0];
+        let mut done = std::mem::take(&mut a.done);
+        done.extend(a.stack.take_completions());
+        done
+    }
+
+    #[test]
+    fn static_policy_maps_priorities_bijectively() {
+        let done = run_pair(
+            vec![
+                (HostId(1), Priority::PerformanceCritical, 32_768),
+                (HostId(1), Priority::NonCritical, 32_768),
+                (HostId(1), Priority::BestEffort, 32_768),
+            ],
+            Policy::Static,
+        );
+        assert_eq!(done.len(), 3);
+        for c in &done {
+            let want = match c.priority {
+                Priority::PerformanceCritical => QosClass::HIGH,
+                Priority::NonCritical => QosClass::MEDIUM,
+                Priority::BestEffort => QosClass::LOW,
+            };
+            assert_eq!(c.qos_requested, want);
+            assert_eq!(c.qos_run, want);
+            assert!(!c.downgraded);
+            assert!(c.rnl() > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn aequitas_policy_feeds_back_and_downgrades() {
+        // An SLO so tight no RPC can meet it: the controller must start
+        // downgrading PC traffic to QoSl once completions arrive.
+        let config = AequitasConfig::three_qos(
+            SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+            SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+        );
+        let script: Vec<_> = (0..300)
+            .map(|_| (HostId(1), Priority::PerformanceCritical, 32_768))
+            .collect();
+        let done = run_pair(script, Policy::aequitas(config, 7));
+        assert_eq!(done.len(), 300);
+        let downgraded = done.iter().filter(|c| c.downgraded).count();
+        assert!(
+            downgraded > 50,
+            "expected substantial downgrading, got {downgraded}/300"
+        );
+        // Downgraded RPCs run on the scavenger class.
+        for c in done.iter().filter(|c| c.downgraded) {
+            assert_eq!(c.qos_run, QosClass::LOW);
+            assert_eq!(c.qos_requested, QosClass::HIGH);
+        }
+    }
+
+    #[test]
+    fn generous_slo_admits_everything() {
+        let config = AequitasConfig::three_qos(
+            SloTarget::per_mtu(SimDuration::from_ms(100), 99.9),
+            SloTarget::per_mtu(SimDuration::from_ms(100), 99.9),
+        );
+        let script: Vec<_> = (0..100)
+            .map(|_| (HostId(1), Priority::PerformanceCritical, 32_768))
+            .collect();
+        let done = run_pair(script, Policy::aequitas(config, 8));
+        assert_eq!(done.len(), 100);
+        assert!(done.iter().all(|c| !c.downgraded));
+    }
+
+    #[test]
+    fn rnl_per_mtu_normalizes() {
+        let done = run_pair(
+            vec![(HostId(1), Priority::PerformanceCritical, 32_768)],
+            Policy::Static,
+        );
+        let c = &done[0];
+        assert_eq!(c.rnl_per_mtu().as_ps(), c.rnl().as_ps() / 8);
+    }
+
+    #[test]
+    fn outstanding_tracks_pending() {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let agents = vec![
+            TestHost {
+                stack: RpcStack::new(
+                    HostId(0),
+                    QosMapping::three_level(),
+                    Policy::Static,
+                    TransportConfig::default(),
+                ),
+                script: vec![(HostId(1), Priority::NonCritical, 8192)],
+                next: 0,
+                done: Vec::new(),
+            },
+            TestHost {
+                stack: RpcStack::new(
+                    HostId(1),
+                    QosMapping::three_level(),
+                    Policy::Static,
+                    TransportConfig::default(),
+                ),
+                script: vec![],
+                next: 0,
+                done: Vec::new(),
+            },
+        ];
+        let mut eng = Engine::new(topo, agents, EngineConfig::default_3qos());
+        eng.run_until(SimTime::from_ms(10));
+        assert_eq!(eng.agents()[0].stack.outstanding(), 0);
+    }
+}
+
+#[cfg(test)]
+mod quota_tests {
+    use super::*;
+    use aequitas::{Grant, SloTarget, TenantId};
+    use aequitas_netsim::{Engine, EngineConfig, HostAgent, LinkSpec, Topology};
+    use aequitas_transport::TransportConfig;
+
+    /// Issues one 32 KB PC RPC per completion (self-clocked) through a
+    /// quota-augmented stack with an impossible SLO: only quota tokens can
+    /// keep traffic on QoSh.
+    struct QuotaHost {
+        stack: RpcStack,
+        remaining: usize,
+        done: Vec<RpcCompletion>,
+    }
+
+    impl HostAgent for QuotaHost {
+        fn on_start(&mut self, ctx: &mut HostCtx) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.stack
+                    .issue_rpc(ctx, HostId(1), Priority::PerformanceCritical, 32_768);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+            self.stack.handle_packet(ctx, pkt);
+            for c in self.stack.take_completions() {
+                self.done.push(c);
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    self.stack
+                        .issue_rpc(ctx, HostId(1), Priority::PerformanceCritical, 32_768);
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+            self.stack.handle_timer(ctx, token);
+        }
+    }
+
+    fn impossible_slo() -> AequitasConfig {
+        AequitasConfig::two_qos(SloTarget::per_mtu(
+            aequitas_sim_core::SimDuration::from_ns(1),
+            99.0,
+        ))
+    }
+
+    fn run_quota(grant_bps: f64, n_rpcs: usize) -> Vec<RpcCompletion> {
+        let mut policy = Policy::aequitas_with_quota(impossible_slo(), 5, TenantId(0), 0);
+        if let Policy::AequitasWithQuota { bucket, .. } = &mut policy {
+            bucket.set_rate(grant_bps, SimTime::ZERO);
+        }
+        let stack = RpcStack::new(
+            HostId(0),
+            QosMapping::two_level(),
+            policy,
+            TransportConfig::default(),
+        );
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let sink = RpcStack::new(
+            HostId(1),
+            QosMapping::two_level(),
+            Policy::Static,
+            TransportConfig::default(),
+        );
+        let agents = vec![
+            QuotaHost {
+                stack,
+                remaining: n_rpcs,
+                done: Vec::new(),
+            },
+            QuotaHost {
+                stack: sink,
+                remaining: 0,
+                done: Vec::new(),
+            },
+        ];
+        let mut eng = Engine::new(topo, agents, EngineConfig::default_2qos());
+        eng.run_until(SimTime::from_ms(100));
+        std::mem::take(&mut eng.agents_mut()[0].done)
+    }
+
+    #[test]
+    fn quota_tokens_bypass_admission() {
+        // A generous grant (50 Gbps, above the ~37 Gbps self-clocked
+        // demand) keeps every RPC on QoSh even though the SLO is impossible
+        // (p_admit at floor).
+        let done = run_quota(50e9 / 8.0, 200);
+        assert_eq!(done.len(), 200);
+        let on_high = done.iter().filter(|c| c.qos_run == QosClass::HIGH).count();
+        assert!(
+            on_high > 190,
+            "quota-covered traffic must stay on QoSh: {on_high}/200"
+        );
+    }
+
+    #[test]
+    fn zero_grant_behaves_like_plain_aequitas() {
+        let done = run_quota(0.0, 200);
+        assert_eq!(done.len(), 200);
+        let downgraded = done.iter().filter(|c| c.downgraded).count();
+        assert!(
+            downgraded > 150,
+            "without tokens the impossible SLO should downgrade nearly all: {downgraded}/200"
+        );
+    }
+
+    #[test]
+    fn usage_reports_track_offered_bytes() {
+        let mut policy = Policy::aequitas_with_quota(impossible_slo(), 6, TenantId(3), 0);
+        if let Policy::AequitasWithQuota { bucket, .. } = &mut policy {
+            bucket.set_rate(1e9, SimTime::ZERO);
+        }
+        let mut stack = RpcStack::new(
+            HostId(0),
+            QosMapping::two_level(),
+            policy,
+            TransportConfig::default(),
+        );
+        // No network needed: issue through a throwaway engine context is
+        // not possible here, so check the report plumbing directly after
+        // applying a grant.
+        assert!(stack.take_usage_report().is_some());
+        let rep = stack.take_usage_report().unwrap();
+        assert_eq!(rep.tenant, TenantId(3));
+        assert_eq!(rep.offered_bytes, 0);
+        stack.apply_grant(Grant { rate_bps: 5.0 }, SimTime::ZERO);
+    }
+}

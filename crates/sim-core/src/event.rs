@@ -1,0 +1,190 @@
+//! Deterministic future-event list.
+//!
+//! A thin wrapper around a binary heap keyed by `(time, sequence)`. The
+//! monotonically increasing sequence number guarantees FIFO ordering among
+//! events scheduled for the same instant, which makes simulations fully
+//! deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event pulled out of the queue: when it fires and its payload.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Tie-break sequence number (insertion order).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Future-event list with deterministic same-instant ordering.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at the absolute instant `at`.
+    ///
+    /// Panics (in debug builds) when scheduling into the past; the kernel
+    /// cannot rewind time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pop the next event and advance the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|entry| {
+            self.now = entry.time;
+            ScheduledEvent {
+                time: entry.time,
+                seq: entry.seq,
+                event: entry.event,
+            }
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(1), ());
+        q.schedule(SimTime::from_us(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_us(1));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_us(2));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime::from_us(2));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    proptest! {
+        /// Events always come out sorted by (time, insertion order).
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ps(t), i);
+            }
+            let mut prev: Option<(SimTime, u64)> = None;
+            while let Some(e) = q.pop() {
+                if let Some((pt, ps)) = prev {
+                    prop_assert!(e.time > pt || (e.time == pt && e.seq > ps));
+                }
+                prev = Some((e.time, e.seq));
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Transport configuration.
+
+use aequitas_sim_core::SimDuration;
+
+/// Tunables for the transport and its Swift-like congestion control.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Maximum payload bytes per packet.
+    pub mtu_bytes: u64,
+    /// Additive increase per RTT, in packets.
+    pub ai: f64,
+    /// Multiplicative decrease coefficient β (fraction of overshoot).
+    pub md_beta: f64,
+    /// Cap on a single multiplicative decrease (Swift's `max_mdf`).
+    pub max_mdf: f64,
+    /// Queuing budget added to the measured base RTT to form the target
+    /// delay.
+    pub target_queueing: SimDuration,
+    /// Floor for the target delay (before a base-RTT sample exists).
+    pub min_target: SimDuration,
+    /// Smallest congestion window, in packets. Below 1.0 the transport
+    /// paces out individual packets.
+    pub min_cwnd: f64,
+    /// Largest congestion window, in packets.
+    pub max_cwnd: f64,
+    /// Initial congestion window, in packets.
+    pub initial_cwnd: f64,
+    /// How often the retransmission scan runs.
+    pub retx_scan_interval: SimDuration,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Whether congestion control reacts to delay at all. `false` freezes
+    /// the window at `initial_cwnd` (theory-validation runs).
+    pub cc_enabled: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mtu_bytes: 4096,
+            ai: 1.0,
+            md_beta: 0.8,
+            max_mdf: 0.5,
+            target_queueing: SimDuration::from_us(10),
+            min_target: SimDuration::from_us(10),
+            min_cwnd: 0.01,
+            max_cwnd: 64.0,
+            initial_cwnd: 16.0,
+            retx_scan_interval: SimDuration::from_us(100),
+            min_rto: SimDuration::from_us(500),
+            cc_enabled: true,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// A fixed-window transport (congestion control disabled) — used when
+    /// validating the WFQ theory, where the paper also disables CC.
+    pub fn fixed_window(window: f64) -> Self {
+        TransportConfig {
+            initial_cwnd: window,
+            cc_enabled: false,
+            ..TransportConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = TransportConfig::default();
+        assert!(c.min_cwnd < 1.0);
+        assert!(c.initial_cwnd <= c.max_cwnd);
+        assert!(c.cc_enabled);
+    }
+
+    #[test]
+    fn fixed_window_disables_cc() {
+        let c = TransportConfig::fixed_window(8.0);
+        assert!(!c.cc_enabled);
+        assert_eq!(c.initial_cwnd, 8.0);
+    }
+}

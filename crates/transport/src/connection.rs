@@ -1,0 +1,245 @@
+//! Per-connection sender state: message queue, segmentation, windowing,
+//! loss recovery.
+
+use crate::config::TransportConfig;
+use crate::swift::SwiftCc;
+use crate::CompletedMessage;
+use aequitas_netsim::FlowKey;
+use aequitas_sim_core::{SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Counters exported per connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Data segments transmitted (including retransmissions).
+    pub sent_segments: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Messages fully acknowledged.
+    pub completed_messages: u64,
+    /// Payload bytes fully acknowledged.
+    pub completed_bytes: u64,
+}
+
+#[derive(Debug)]
+struct MsgState {
+    size_bytes: u64,
+    total_segs: u32,
+    next_seg: u32,
+    acked_segs: u32,
+    issued_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UnackedSeg {
+    sent_at: SimTime,
+    retx: u32,
+}
+
+/// What the connection wants to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transmit {
+    /// Send this segment now.
+    Segment {
+        /// Message id.
+        msg_id: u64,
+        /// Segment index.
+        seq: u32,
+        /// Whether it is the message's final segment.
+        is_last: bool,
+    },
+    /// Window is sub-packet; try again at this time.
+    PacedUntil(SimTime),
+    /// Nothing to send (idle or window-limited; re-pumped on ACK).
+    Idle,
+}
+
+pub(crate) struct Connection {
+    #[allow(dead_code)]
+    flow: FlowKey,
+    pub(crate) cc: SwiftCc,
+    /// Messages in FIFO order; segments of message k+1 are not sent until
+    /// all segments of message k have been *sent* (stream semantics).
+    send_order: VecDeque<u64>,
+    msgs: HashMap<u64, MsgState>,
+    unacked: HashMap<(u64, u32), UnackedSeg>,
+    inflight: usize,
+    next_send_allowed: SimTime,
+    stats: ConnectionStats,
+}
+
+impl Connection {
+    pub(crate) fn new(flow: FlowKey, config: &TransportConfig) -> Self {
+        Connection {
+            flow,
+            cc: SwiftCc::new(config),
+            send_order: VecDeque::new(),
+            msgs: HashMap::new(),
+            unacked: HashMap::new(),
+            inflight: 0,
+            next_send_allowed: SimTime::ZERO,
+            stats: ConnectionStats::default(),
+        }
+    }
+
+    pub(crate) fn enqueue_message(&mut self, msg_id: u64, size_bytes: u64, mtu: u64, now: SimTime) {
+        let total_segs = size_bytes.div_ceil(mtu).max(1) as u32;
+        let prev = self.msgs.insert(
+            msg_id,
+            MsgState {
+                size_bytes,
+                total_segs,
+                next_seg: 0,
+                acked_segs: 0,
+                issued_at: now,
+            },
+        );
+        assert!(prev.is_none(), "duplicate msg_id {msg_id}");
+        self.send_order.push_back(msg_id);
+    }
+
+    /// Number of messages not yet fully transmitted.
+    pub(crate) fn pending_messages(&self) -> usize {
+        self.send_order.len()
+    }
+
+    /// Outstanding (sent, unacked) segments.
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    pub(crate) fn stats(&self) -> ConnectionStats {
+        self.stats
+    }
+
+    /// Payload bytes of segment `seq` of `msg_id`.
+    pub(crate) fn segment_bytes(&self, msg_id: u64, seq: u32, mtu: u64) -> u32 {
+        let msg = &self.msgs[&msg_id];
+        if seq + 1 < msg.total_segs {
+            mtu as u32
+        } else {
+            let rem = msg.size_bytes - (msg.total_segs as u64 - 1) * mtu;
+            rem.max(1) as u32
+        }
+    }
+
+    /// Decide the next transmission under window and pacing constraints.
+    pub(crate) fn next_transmission(&mut self, now: SimTime, _config: &TransportConfig) -> Transmit {
+        // Drop fully-sent heads.
+        while let Some(&head) = self.send_order.front() {
+            let msg = &self.msgs[&head];
+            if msg.next_seg >= msg.total_segs {
+                self.send_order.pop_front();
+            } else {
+                break;
+            }
+        }
+        let Some(&head) = self.send_order.front() else {
+            return Transmit::Idle;
+        };
+
+        let cwnd = self.cc.cwnd();
+        if cwnd >= 1.0 {
+            if (self.inflight as f64) + 1.0 > cwnd + 1e-9 {
+                return Transmit::Idle; // window-limited; ACKs re-pump
+            }
+        } else {
+            // Sub-packet window: one packet at a time, paced.
+            if self.inflight > 0 {
+                return Transmit::Idle;
+            }
+            if now < self.next_send_allowed {
+                return Transmit::PacedUntil(self.next_send_allowed);
+            }
+        }
+
+        let msg = self.msgs.get_mut(&head).expect("head exists");
+        let seq = msg.next_seg;
+        msg.next_seg += 1;
+        Transmit::Segment {
+            msg_id: head,
+            seq,
+            is_last: seq + 1 == msg.total_segs,
+        }
+    }
+
+    /// Record a (re)transmission of a segment.
+    pub(crate) fn mark_sent(&mut self, msg_id: u64, seq: u32, now: SimTime, config: &TransportConfig) {
+        self.stats.sent_segments += 1;
+        match self.unacked.get_mut(&(msg_id, seq)) {
+            Some(entry) => {
+                entry.sent_at = now;
+                entry.retx += 1;
+                self.stats.retransmits += 1;
+            }
+            None => {
+                self.unacked
+                    .insert((msg_id, seq), UnackedSeg { sent_at: now, retx: 0 });
+                self.inflight += 1;
+            }
+        }
+        if self.cc.cwnd() < 1.0 {
+            self.next_send_allowed = now + self.cc.pacing_gap(config);
+        }
+    }
+
+    /// Process an ACK; returns the completed message, if this was its final
+    /// segment.
+    pub(crate) fn on_ack(
+        &mut self,
+        msg_id: u64,
+        seq: u32,
+        rtt: aequitas_sim_core::SimDuration,
+        now: SimTime,
+        config: &TransportConfig,
+    ) -> Option<CompletedMessage> {
+        let Some(_) = self.unacked.remove(&(msg_id, seq)) else {
+            return None; // duplicate or stale ACK
+        };
+        self.inflight -= 1;
+        self.cc.on_ack(rtt, now, config);
+
+        let msg = self.msgs.get_mut(&msg_id)?;
+        msg.acked_segs += 1;
+        if msg.acked_segs == msg.total_segs {
+            let msg = self.msgs.remove(&msg_id).expect("message exists");
+            self.stats.completed_messages += 1;
+            self.stats.completed_bytes += msg.size_bytes;
+            return Some(CompletedMessage {
+                flow: self.flow,
+                msg_id,
+                issued_at: msg.issued_at,
+                completed_at: now,
+                size_bytes: msg.size_bytes,
+            });
+        }
+        None
+    }
+
+    /// Collect segments whose retransmission timeout has expired, refreshing
+    /// their timers and shrinking the window once if anything expired.
+    pub(crate) fn take_expired(
+        &mut self,
+        now: SimTime,
+        config: &TransportConfig,
+    ) -> Vec<(u64, u32, bool)> {
+        let rto = self.cc.rto(config);
+        let mut expired = Vec::new();
+        for (&(msg_id, seq), entry) in &self.unacked {
+            if now.saturating_since(entry.sent_at) >= rto {
+                let is_last = self
+                    .msgs
+                    .get(&msg_id)
+                    .map(|m| seq + 1 == m.total_segs)
+                    .unwrap_or(false);
+                expired.push((msg_id, seq, is_last));
+            }
+        }
+        if !expired.is_empty() {
+            self.cc.on_timeout(config);
+            // Deterministic retransmission order.
+            expired.sort_unstable();
+        }
+        expired
+    }
+}

@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! Reliable message transport with Swift-like congestion control.
+//!
+//! Aequitas "does not interfere with underlying congestion control" — it
+//! sits above a transport that keeps fabric queues small and fully utilizes
+//! available bandwidth. This crate provides that substrate, modelled on
+//! Swift (Kumar et al., SIGCOMM 2020), the congestion control used in the
+//! paper's simulator:
+//!
+//! * per-(src, dst, QoS) connections, each carrying an ordered stream of
+//!   messages segmented into MTU-sized packets;
+//! * delay-based AIMD: additive increase while RTT is under the target,
+//!   multiplicative decrease proportional to the overshoot, at most once per
+//!   RTT;
+//! * pacing below one packet of congestion window (Swift's signature
+//!   low-cwnd regime for large incasts);
+//! * per-packet ACKs with timestamp echo for RTT measurement, and timeout
+//!   retransmission for drops.
+//!
+//! The transport reports [`CompletedMessage`]s stamped with issue and
+//! completion times; the RPC layer turns these into RPC Network Latency
+//! (RNL) samples — `t0` is when the message entered the transport (so
+//! sender-side queuing behind earlier messages and CC backoff are included,
+//! per the paper's §2.2.1 definition).
+
+pub mod config;
+pub mod connection;
+pub mod swift;
+
+pub use config::TransportConfig;
+pub use connection::ConnectionStats;
+pub use swift::SwiftCc;
+
+use aequitas_netsim::{FlowKey, HostCtx, HostId, Packet, PacketKind};
+use aequitas_sim_core::{SimDuration, SimTime};
+use connection::Connection;
+use std::collections::HashMap;
+
+/// Timer tokens at or above this value belong to the transport; the RPC
+/// layer must route them to [`Transport::handle_timer`].
+pub const TRANSPORT_TIMER_BASE: u64 = 1 << 62;
+
+/// A message fully delivered and acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedMessage {
+    /// Connection the message ran on.
+    pub flow: FlowKey,
+    /// Sender-unique message id.
+    pub msg_id: u64,
+    /// When the message was handed to the transport (RNL `t0`).
+    pub issued_at: SimTime,
+    /// When the last byte's ACK was processed (RNL `t1`).
+    pub completed_at: SimTime,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+}
+
+impl CompletedMessage {
+    /// The RPC Network Latency of this message.
+    pub fn rnl(&self) -> SimDuration {
+        self.completed_at.since(self.issued_at)
+    }
+}
+
+/// Sender+receiver transport state for one host.
+pub struct Transport {
+    host: HostId,
+    config: TransportConfig,
+    connections: HashMap<FlowKey, Connection>,
+    completions: Vec<CompletedMessage>,
+    retx_timer_armed: bool,
+    /// Earliest outstanding pacing wakeup; dedupes wakeups so that pumping
+    /// many paced connections cannot multiply timers.
+    next_pace_wake: SimTime,
+    next_packet_id: u64,
+}
+
+impl Transport {
+    /// Create the transport endpoint for `host`.
+    pub fn new(host: HostId, config: TransportConfig) -> Self {
+        Transport {
+            host,
+            config,
+            connections: HashMap::new(),
+            completions: Vec::new(),
+            retx_timer_armed: false,
+            next_pace_wake: SimTime::MAX,
+            next_packet_id: (host.0 as u64) << 40,
+        }
+    }
+
+    /// Enqueue a message for transmission to `dst` on QoS `class`.
+    ///
+    /// `msg_id` must be unique per sending host. The current time becomes the
+    /// message's RNL `t0`.
+    pub fn send_message(
+        &mut self,
+        ctx: &mut HostCtx,
+        dst: HostId,
+        class: u8,
+        msg_id: u64,
+        size_bytes: u64,
+    ) {
+        let flow = FlowKey {
+            src: self.host,
+            dst,
+            class,
+        };
+        let mtu = self.config.mtu_bytes;
+        let conn = self
+            .connections
+            .entry(flow)
+            .or_insert_with(|| Connection::new(flow, &self.config));
+        conn.enqueue_message(msg_id, size_bytes, mtu, ctx.now());
+        self.pump(ctx, flow);
+        self.arm_retx_timer(ctx);
+    }
+
+    /// Handle an incoming packet. Returns `true` when the packet was a
+    /// transport packet (Data/Ack); `Ctrl` packets are left to the caller.
+    pub fn handle_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) -> bool {
+        match pkt.kind {
+            PacketKind::Data { msg_id, seq, .. } => {
+                // Receiver side: acknowledge every data packet, echoing its
+                // send timestamp. ACKs travel on the same QoS class.
+                let ack_flow = FlowKey {
+                    src: self.host,
+                    dst: pkt.src(),
+                    class: pkt.flow.class,
+                };
+                let id = self.alloc_packet_id();
+                ctx.send(Packet {
+                    id,
+                    flow: ack_flow,
+                    size_bytes: aequitas_netsim::packet::ACK_BYTES,
+                    kind: PacketKind::Ack {
+                        msg_id,
+                        seq,
+                        echo: pkt.sent_at,
+                    },
+                    sent_at: ctx.now(),
+                    rank: 0,
+                });
+                true
+            }
+            PacketKind::Ack { msg_id, seq, echo } => {
+                // Sender side: the ACK's flow is (peer -> us); our connection
+                // is the reverse.
+                let flow = FlowKey {
+                    src: self.host,
+                    dst: pkt.src(),
+                    class: pkt.flow.class,
+                };
+                if let Some(conn) = self.connections.get_mut(&flow) {
+                    let rtt = ctx.now().saturating_since(echo);
+                    if let Some(done) = conn.on_ack(msg_id, seq, rtt, ctx.now(), &self.config) {
+                        self.completions.push(done);
+                    }
+                    self.pump(ctx, flow);
+                }
+                true
+            }
+            PacketKind::Ctrl { .. } => false,
+        }
+    }
+
+    /// Handle a timer token. Returns `true` when the token belonged to the
+    /// transport.
+    pub fn handle_timer(&mut self, ctx: &mut HostCtx, token: u64) -> bool {
+        if token < TRANSPORT_TIMER_BASE {
+            return false;
+        }
+        if token == TRANSPORT_TIMER_BASE {
+            self.retx_timer_armed = false;
+        } else if ctx.now() >= self.next_pace_wake {
+            self.next_pace_wake = SimTime::MAX;
+        }
+        // Retransmit expired packets and resume paced connections.
+        let flows: Vec<FlowKey> = self.connections.keys().copied().collect();
+        for flow in flows {
+            let now = ctx.now();
+            let expired = {
+                let conn = self.connections.get_mut(&flow).unwrap();
+                conn.take_expired(now, &self.config)
+            };
+            for (msg_id, seq, is_last) in expired {
+                self.transmit_segment(ctx, flow, msg_id, seq, is_last);
+            }
+            self.pump(ctx, flow);
+        }
+        self.arm_retx_timer(ctx);
+        true
+    }
+
+    /// Drain completed messages.
+    pub fn take_completions(&mut self) -> Vec<CompletedMessage> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Congestion window of a connection (packets), if it exists.
+    pub fn cwnd(&self, flow: &FlowKey) -> Option<f64> {
+        self.connections.get(flow).map(|c| c.cc.cwnd())
+    }
+
+    /// Per-connection counters.
+    pub fn connection_stats(&self, flow: &FlowKey) -> Option<ConnectionStats> {
+        self.connections.get(flow).map(|c| c.stats())
+    }
+
+    /// Number of messages waiting (not yet fully sent) across connections.
+    pub fn queued_messages(&self) -> usize {
+        self.connections.values().map(|c| c.pending_messages()).sum()
+    }
+
+    /// Sum of unacknowledged packets across connections.
+    pub fn unacked_packets(&self) -> usize {
+        self.connections.values().map(|c| c.inflight()).sum()
+    }
+
+    fn alloc_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Send as many segments as window and pacing allow on `flow`.
+    fn pump(&mut self, ctx: &mut HostCtx, flow: FlowKey) {
+        loop {
+            let now = ctx.now();
+            let decision = {
+                let Some(conn) = self.connections.get_mut(&flow) else {
+                    return;
+                };
+                conn.next_transmission(now, &self.config)
+            };
+            match decision {
+                connection::Transmit::Segment {
+                    msg_id,
+                    seq,
+                    is_last,
+                } => {
+                    self.transmit_segment(ctx, flow, msg_id, seq, is_last);
+                }
+                connection::Transmit::PacedUntil(at) => {
+                    // Wake up when pacing allows the next packet; keep at
+                    // most one outstanding pacing wakeup.
+                    if at < self.next_pace_wake {
+                        self.next_pace_wake = at;
+                        ctx.set_timer(at, TRANSPORT_TIMER_BASE + 1);
+                    }
+                    return;
+                }
+                connection::Transmit::Idle => return,
+            }
+        }
+    }
+
+    fn transmit_segment(
+        &mut self,
+        ctx: &mut HostCtx,
+        flow: FlowKey,
+        msg_id: u64,
+        seq: u32,
+        is_last: bool,
+    ) {
+        let now = ctx.now();
+        let id = self.alloc_packet_id();
+        let conn = self.connections.get_mut(&flow).expect("connection exists");
+        let payload = conn.segment_bytes(msg_id, seq, self.config.mtu_bytes);
+        conn.mark_sent(msg_id, seq, now, &self.config);
+        ctx.send(Packet {
+            id,
+            flow,
+            size_bytes: payload + aequitas_netsim::packet::HEADER_BYTES,
+            kind: PacketKind::Data {
+                msg_id,
+                seq,
+                is_last,
+            },
+            sent_at: now,
+            rank: 0,
+        });
+    }
+
+    fn arm_retx_timer(&mut self, ctx: &mut HostCtx) {
+        if self.retx_timer_armed {
+            return;
+        }
+        if self.connections.values().any(|c| c.inflight() > 0 || c.pending_messages() > 0) {
+            self.retx_timer_armed = true;
+            ctx.set_timer(
+                ctx.now() + self.config.retx_scan_interval,
+                TRANSPORT_TIMER_BASE,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,122 @@
+//! Traffic patterns: which hosts talk to which.
+
+use aequitas_sim_core::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A communication pattern over `n` hosts (identified by index).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every sender targets one fixed destination (the 3-node
+    /// microbenchmarks: clients 0..n-1 all send to `dst`).
+    ManyToOne {
+        /// The common destination host.
+        dst: usize,
+    },
+    /// Each sender picks a uniformly random destination (≠ itself) per RPC —
+    /// the paper's all-to-all pattern for the 33/144-node setups.
+    AllToAll,
+    /// Fixed (src → dst) pairs.
+    Pairwise(Vec<(usize, usize)>),
+}
+
+impl TrafficPattern {
+    /// Choose the destination for the next RPC issued by `src` out of
+    /// `n_hosts`. Returns `None` when `src` does not send under this pattern.
+    pub fn pick_dst(&self, src: usize, n_hosts: usize, rng: &mut SimRng) -> Option<usize> {
+        match self {
+            TrafficPattern::ManyToOne { dst } => {
+                if src == *dst {
+                    None
+                } else {
+                    Some(*dst)
+                }
+            }
+            TrafficPattern::AllToAll => {
+                debug_assert!(n_hosts >= 2);
+                let mut d = rng.uniform_range(0, n_hosts as u64 - 1) as usize;
+                if d >= src {
+                    d += 1;
+                }
+                Some(d)
+            }
+            TrafficPattern::Pairwise(pairs) => {
+                let choices: Vec<usize> = pairs
+                    .iter()
+                    .filter(|(s, _)| *s == src)
+                    .map(|(_, d)| *d)
+                    .collect();
+                match choices.len() {
+                    0 => None,
+                    1 => Some(choices[0]),
+                    k => Some(choices[rng.uniform_range(0, k as u64) as usize]),
+                }
+            }
+        }
+    }
+
+    /// Whether `src` sends at all under this pattern.
+    pub fn is_sender(&self, src: usize) -> bool {
+        match self {
+            TrafficPattern::ManyToOne { dst } => src != *dst,
+            TrafficPattern::AllToAll => true,
+            TrafficPattern::Pairwise(pairs) => pairs.iter().any(|(s, _)| *s == src),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_to_one_targets_dst() {
+        let p = TrafficPattern::ManyToOne { dst: 2 };
+        let mut rng = SimRng::new(1);
+        assert_eq!(p.pick_dst(0, 3, &mut rng), Some(2));
+        assert_eq!(p.pick_dst(1, 3, &mut rng), Some(2));
+        assert_eq!(p.pick_dst(2, 3, &mut rng), None);
+        assert!(!p.is_sender(2));
+    }
+
+    #[test]
+    fn all_to_all_never_self_and_covers_all() {
+        let p = TrafficPattern::AllToAll;
+        let mut rng = SimRng::new(2);
+        let n = 8;
+        let mut seen = vec![false; n];
+        for _ in 0..1000 {
+            let d = p.pick_dst(3, n, &mut rng).unwrap();
+            assert_ne!(d, 3);
+            seen[d] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), n - 1);
+    }
+
+    #[test]
+    fn all_to_all_uniform() {
+        let p = TrafficPattern::AllToAll;
+        let mut rng = SimRng::new(3);
+        let n = 4;
+        let mut counts = [0usize; 4];
+        for _ in 0..30_000 {
+            counts[p.pick_dst(0, n, &mut rng).unwrap()] += 1;
+        }
+        for d in 1..4 {
+            let f = counts[d] as f64 / 30_000.0;
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "dst {d} freq {f}");
+        }
+    }
+
+    #[test]
+    fn pairwise_respects_pairs() {
+        let p = TrafficPattern::Pairwise(vec![(0, 1), (0, 2), (3, 1)]);
+        let mut rng = SimRng::new(4);
+        for _ in 0..100 {
+            let d = p.pick_dst(0, 4, &mut rng).unwrap();
+            assert!(d == 1 || d == 2);
+        }
+        assert_eq!(p.pick_dst(3, 4, &mut rng), Some(1));
+        assert_eq!(p.pick_dst(1, 4, &mut rng), None);
+        assert!(p.is_sender(0) && !p.is_sender(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end property checks spanning the whole reproduction.
+
+use aequitas::{AequitasConfig, Fleet, FleetConfig, SloTarget};
+use aequitas_experiments::harness::{run_macro, MacroSetup, PolicyChoice};
+use aequitas_experiments::slo::{admitted_mix, node33_workload, p999_rnl_us};
+use aequitas_sim_core::SimDuration;
+use aequitas_workloads::QosClass;
+use proptest::prelude::*;
+
+/// Scavenger traffic is never downgraded and always admitted, whatever the
+/// SLO pressure — the floor of the downgrade mechanism.
+#[test]
+fn scavenger_class_is_never_downgraded() {
+    let mut setup = MacroSetup::star_3qos(5);
+    setup.policy = PolicyChoice::Aequitas(AequitasConfig::three_qos(
+        // Impossible SLOs: everything SLO-carrying gets hammered.
+        SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+        SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+    ));
+    setup.duration = SimDuration::from_ms(6);
+    setup.warmup = SimDuration::from_ms(1);
+    for h in 0..5 {
+        setup.workloads[h] = Some(node33_workload([0.3, 0.3, 0.4], None));
+    }
+    let r = run_macro(setup);
+    assert!(!r.completions.is_empty());
+    for c in &r.completions {
+        if c.priority == aequitas_rpc::Priority::BestEffort {
+            assert!(!c.downgraded);
+            assert_eq!(c.qos_run, QosClass::LOW);
+        }
+        if c.downgraded {
+            assert_eq!(c.qos_run, QosClass::LOW);
+        }
+    }
+}
+
+/// With absurdly tight SLOs the controller drives admission to its floor
+/// but never to zero: the probe stream keeps flowing (starvation
+/// avoidance, §5.1).
+#[test]
+fn floor_prevents_starvation() {
+    let mut setup = MacroSetup::star_3qos(3);
+    setup.policy = PolicyChoice::Aequitas(AequitasConfig::three_qos(
+        SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+        SloTarget::per_mtu(SimDuration::from_ns(1), 99.0),
+    ));
+    setup.duration = SimDuration::from_ms(20);
+    setup.warmup = SimDuration::from_ms(10);
+    for h in 0..2 {
+        setup.workloads[h] = Some(node33_workload([0.5, 0.3, 0.2], None));
+    }
+    let r = run_macro(setup);
+    let on_high = r
+        .completions
+        .iter()
+        .filter(|c| c.qos_run == QosClass::HIGH)
+        .count();
+    assert!(
+        on_high > 0,
+        "the admit-probability floor must keep a probe stream alive"
+    );
+    // But the vast majority is downgraded.
+    let downgraded = r.completions.iter().filter(|c| c.downgraded).count();
+    assert!(downgraded > r.completions.len() / 3);
+}
+
+/// Phase 1 + Phase 2 together: an aligned fleet mix fed through the
+/// simulator meets SLOs that the misaligned mix misses.
+#[test]
+fn phase1_alignment_composes_with_phase2() {
+    let mut fleet = Fleet::synthetic(FleetConfig {
+        apps: 300,
+        seed: 99,
+    });
+    let misaligned = fleet.qos_mix();
+    fleet.align_cohort(1.0);
+    let aligned = fleet.qos_mix();
+    // The aligned mix carries less QoSh traffic (over-marking removed).
+    assert!(aligned[0] < misaligned[0]);
+
+    let run = |mix: [f64; 3], seed: u64| {
+        let mut setup = MacroSetup::star_3qos(9);
+        setup.duration = SimDuration::from_ms(10);
+        setup.warmup = SimDuration::from_ms(3);
+        setup.seed = seed;
+        for h in 0..9 {
+            setup.workloads[h] = Some(node33_workload(mix, None));
+        }
+        let r = run_macro(setup);
+        p999_rnl_us(&r.completions, QosClass::HIGH).unwrap()
+    };
+    let tail_misaligned = run(misaligned, 1);
+    let tail_aligned = run(aligned, 2);
+    assert!(
+        tail_aligned < tail_misaligned,
+        "alignment alone should already improve the QoSh tail: {tail_misaligned} -> {tail_aligned}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// For any input mix, the admitted QoSh share never exceeds the input
+    /// share, and all shares remain a valid distribution.
+    #[test]
+    fn prop_admitted_mix_is_sane(h in 2u32..7, m in 1u32..5) {
+        let hf = h as f64 / 10.0;
+        let mf = (m as f64 / 10.0).min(0.9 - hf);
+        let mix = [hf, mf, 1.0 - hf - mf];
+        let mut setup = MacroSetup::star_3qos(5);
+        setup.policy = PolicyChoice::Aequitas(aequitas_experiments::slo::slo_config_33());
+        setup.duration = SimDuration::from_ms(8);
+        setup.warmup = SimDuration::from_ms(2);
+        setup.seed = 7000 + h as u64 * 10 + m as u64;
+        for host in 0..5 {
+            setup.workloads[host] = Some(node33_workload(mix, None));
+        }
+        let r = run_macro(setup);
+        let adm = admitted_mix(&r.completions, 3);
+        let total: f64 = adm.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(adm[0] <= mix[0] + 0.05, "admitted {adm:?} vs input {mix:?}");
+    }
+}
