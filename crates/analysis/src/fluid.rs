@@ -14,10 +14,9 @@
 //! precisely the network-calculus delay bound used in Appendix B. This
 //! module computes it exactly from the curve kinks.
 
-use serde::{Deserialize, Serialize};
 
 /// Specification of a fluid WFQ scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FluidSpec {
     /// WFQ weight per class (class 0 is conventionally the highest).
     pub weights: Vec<f64>,

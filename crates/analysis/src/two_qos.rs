@@ -13,10 +13,9 @@
 //! paper's explicit domains at the paper's parameter values and with the
 //! exact fluid model everywhere.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the 2-QoS analytical model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TwoQosParams {
     /// Weight ratio QoSₕ:QoSₗ = φ:1 (φ > 0).
     pub phi: f64,

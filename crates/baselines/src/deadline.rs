@@ -24,7 +24,7 @@ use crate::reliable::{ack_packet, OutMsg};
 use crate::workgen::WorkloadGen;
 use crate::BaselineCompletion;
 use aequitas_netsim::{
-    EngineConfig, FlowKey, HostAgent, HostCtx, HostId, Packet, PacketKind, SchedulerKind,
+    EngineConfig, FlowKey, HostAgent, HostCtx, HostId, Packet, PacketKind, QueueKind, SchedulerKind,
 };
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
 use aequitas_workloads::Priority;
@@ -60,6 +60,7 @@ pub fn engine_config() -> EngineConfig {
         classes: 3,
     loss_probability: 0.0,
         loss_seed: 0,
+        event_queue: QueueKind::Calendar,
     }
 }
 
@@ -341,7 +342,22 @@ impl DeadlineHost {
             };
             if terminate {
                 let msg = self.msgs.remove(&id).expect("msg exists");
-                self.pace.remove(&id);
+                let pace = self.pace.remove(&id);
+                #[cfg(test)]
+                eprintln!(
+                    "TERM host={} id={:x} age_us={:.1} remaining={} next_seg={}/{} acked={} inflight={} rate_bps={}",
+                    self.host.0,
+                    id,
+                    now.saturating_since(msg.issued_at).as_secs_f64() * 1e6,
+                    msg.remaining_bytes(),
+                    msg.next_seg,
+                    msg.total_segs,
+                    msg.acked,
+                    msg.inflight(),
+                    pace.map(|p| p.rate_bps).unwrap_or(0),
+                );
+                #[cfg(not(test))]
+                let _ = pace;
                 self.completions.push(msg.completion(now, true));
                 let pkt = self.ctrl(dst, CTRL_FLOW_END, id, 0, now);
                 ctx.send(pkt);

@@ -17,7 +17,7 @@
 use crate::workgen::WorkloadGen;
 use crate::BaselineCompletion;
 use aequitas_netsim::{
-    EngineConfig, FlowKey, HostAgent, HostCtx, HostId, Packet, PacketKind, SchedulerKind,
+    EngineConfig, FlowKey, HostAgent, HostCtx, HostId, Packet, PacketKind, QueueKind, SchedulerKind,
 };
 use aequitas_sim_core::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -50,6 +50,7 @@ pub fn engine_config() -> EngineConfig {
         classes: HOMA_PRIORITIES,
     loss_probability: 0.0,
         loss_seed: 0,
+        event_queue: QueueKind::Calendar,
     }
 }
 

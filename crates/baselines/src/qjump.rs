@@ -11,7 +11,9 @@
 use crate::reliable::{ack_packet, OutMsg};
 use crate::workgen::WorkloadGen;
 use crate::BaselineCompletion;
-use aequitas_netsim::{EngineConfig, HostAgent, HostCtx, HostId, Packet, PacketKind, SchedulerKind};
+use aequitas_netsim::{
+    EngineConfig, HostAgent, HostCtx, HostId, Packet, PacketKind, QueueKind, SchedulerKind,
+};
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -29,6 +31,7 @@ pub fn engine_config() -> EngineConfig {
         classes: 3,
     loss_probability: 0.0,
         loss_seed: 0,
+        event_queue: QueueKind::Calendar,
     }
 }
 

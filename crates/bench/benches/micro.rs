@@ -4,7 +4,7 @@
 
 use aequitas::{AdmissionController, AequitasConfig, SloTarget};
 use aequitas_qdisc::{DwrrScheduler, Scheduler, SpqScheduler, WfqScheduler};
-use aequitas_sim_core::{EventQueue, SimDuration, SimTime};
+use aequitas_sim_core::{EventQueue, QueueKind, SimDuration, SimTime};
 use aequitas_stats::Percentiles;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -61,6 +61,58 @@ fn bench_event_queue(c: &mut Criterion) {
             }
         });
     });
+    // Backend comparison under a simulation-shaped load: a standing pool of
+    // pending events (one pop, one reschedule a short horizon out), the
+    // pattern engine hot loops produce.
+    let mut g = c.benchmark_group("event_queue_hold64");
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let label = match kind {
+            QueueKind::Heap => "heap",
+            QueueKind::Calendar => "calendar",
+        };
+        g.bench_function(label, |b| {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_ps(i * 131 + 1), i);
+            }
+            let mut t = 0u64;
+            b.iter(|| {
+                let ev = q.pop().expect("pool is never empty");
+                t = t.wrapping_mul(6364136223846793005).wrapping_add(ev.event);
+                // Respread within ~8 us of now, like packet/timer events.
+                q.schedule(SimTime::from_ps(q.now().as_ps() + t % 8_000_000 + 1), ev.event);
+                black_box(ev.time);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    // End-to-end events/sec: a 8-host star under the standard 3-QoS RPC
+    // workload, advanced in 100 us slices per iteration. This is the number
+    // the README's "Performance" section quotes.
+    let mut g = c.benchmark_group("engine_run");
+    g.bench_function("rpc_8host_100us_slice", |b| {
+        let mut setup = aequitas_experiments::MacroSetup::star_3qos(8);
+        setup.duration = SimDuration::from_ms(1); // harness warmup run only
+        setup.warmup = SimDuration::ZERO;
+        setup.seed = 7;
+        for h in 0..8 {
+            setup.workloads[h] = Some(aequitas_experiments::slo::node33_workload(
+                [0.6, 0.3, 0.1],
+                None,
+            ));
+        }
+        let mut eng = aequitas_experiments::harness::build_engine(setup);
+        let mut end = SimTime::ZERO;
+        b.iter(|| {
+            end = end + SimDuration::from_us(100);
+            eng.run_until(end);
+            black_box(eng.now());
+        });
+    });
+    g.finish();
 }
 
 fn bench_admission(c: &mut Criterion) {
@@ -102,6 +154,6 @@ fn bench_percentiles(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_schedulers, bench_event_queue, bench_admission, bench_percentiles
+    targets = bench_schedulers, bench_event_queue, bench_engine_events, bench_admission, bench_percentiles
 );
 criterion_main!(micro);

@@ -7,11 +7,10 @@
 //! level is the scavenger that receives downgraded traffic and has no SLO.
 
 use aequitas_sim_core::{SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An RNL SLO for one QoS level.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SloTarget {
     /// Latency target **per MTU** of RPC size (the paper's normalized SLO:
     /// an RPC of `s` MTUs must complete within `s × latency_target`).
@@ -53,7 +52,7 @@ impl SloTarget {
 }
 
 /// Configuration of the admission controller.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AequitasConfig {
     /// Additive increment α applied to the admit probability (paper: 0.01).
     pub alpha: f64,

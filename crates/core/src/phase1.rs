@@ -17,13 +17,12 @@
 //! versus aligned QoS mixes).
 
 use aequitas_sim_core::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Number of priority classes / QoS levels in the fleet model.
 pub const CLASSES: usize = 3;
 
 /// How an application marks its traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Marking {
     /// Entire application pinned to one QoS level (the pre-Aequitas
     /// coarse-grained model).
@@ -33,7 +32,7 @@ pub enum Marking {
 }
 
 /// One application in the fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppSpec {
     /// Relative traffic volume of this application.
     pub volume: f64,
@@ -44,7 +43,7 @@ pub struct AppSpec {
 }
 
 /// Parameters for synthesizing a fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of applications.
     pub apps: usize,

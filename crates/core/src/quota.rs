@@ -26,15 +26,14 @@
 //! track demand shifts, not the data path.
 
 use aequitas_sim_core::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies a tenant (application) across hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u32);
 
 /// A tenant's registered guarantee on one QoS level.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QuotaSpec {
     /// QoS level the guarantee applies to.
     pub qos: u8,
@@ -43,7 +42,7 @@ pub struct QuotaSpec {
 }
 
 /// A usage report from one host for one tenant.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UsageReport {
     /// Reporting tenant.
     pub tenant: TenantId,
@@ -53,7 +52,7 @@ pub struct UsageReport {
 }
 
 /// Per-tenant grant for the next period.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Grant {
     /// Token refill rate in bytes per second.
     pub rate_bps: f64,

@@ -140,6 +140,12 @@ impl MacroSetup {
     }
 }
 
+/// Build the engine for `setup` without running it (the bench harness uses
+/// this to measure raw events/sec without harvest overhead).
+pub fn build_engine(setup: MacroSetup) -> Engine<aequitas_rpc::WorkloadHost> {
+    setup.build().0
+}
+
 /// Results of a macro run.
 pub struct MacroResult {
     /// Completions from all hosts with `issued_at >= warmup`.

@@ -104,12 +104,16 @@ fn run_144(scale: Scale, policy: PolicyChoice, seed: u64) -> crate::harness::Mac
 
 /// Fig. 21: production sizes, 25× burst demand, leaf-spine fabric.
 pub fn fig21(scale: Scale) -> Fig21Result {
-    let without = run_144(scale, PolicyChoice::Static, 2101);
-    let with = run_144(
-        scale,
-        PolicyChoice::Aequitas(production_slo_config()),
-        2102,
-    );
+    // The two policies are independent runs; fan them out.
+    let mut runs = crate::parallel::run_sweep(vec![false, true], |aequitas| {
+        if aequitas {
+            run_144(scale, PolicyChoice::Aequitas(production_slo_config()), 2102)
+        } else {
+            run_144(scale, PolicyChoice::Static, 2101)
+        }
+    });
+    let with = runs.pop().expect("two runs");
+    let without = runs.pop().expect("two runs");
     let adm = admitted_mix(&with.completions, 3);
     Fig21Result {
         without: [
@@ -233,14 +237,15 @@ pub fn fig23(scale: Scale) -> Fig23Result {
     let slos = crate::slo::slo_config_33();
     let input = [0.5, 0.35, 0.15];
     let target = [0.2, 0.3, 0.5];
-    let reference = run_testbed(
-        scale,
-        target,
-        PolicyChoice::Aequitas(slos.clone()),
-        2301,
-    );
-    let without = run_testbed(scale, input, PolicyChoice::Static, 2302);
-    let with = run_testbed(scale, input, PolicyChoice::Aequitas(slos), 2303);
+    // Reference, without, and with are three independent runs.
+    let mut runs = crate::parallel::run_sweep(vec![0u8, 1, 2], |k| match k {
+        0 => run_testbed(scale, target, PolicyChoice::Aequitas(slos.clone()), 2301),
+        1 => run_testbed(scale, input, PolicyChoice::Static, 2302),
+        _ => run_testbed(scale, input, PolicyChoice::Aequitas(slos.clone()), 2303),
+    });
+    let with = runs.pop().expect("three runs");
+    let without = runs.pop().expect("three runs");
+    let reference = runs.pop().expect("three runs");
 
     let norm = |r: &crate::harness::MacroResult, q: u8| -> Option<f64> {
         let base = p999_rnl_us(&reference.completions, QosClass(q))?;

@@ -25,6 +25,7 @@ pub mod fairness;
 pub mod harness;
 pub mod large;
 pub mod mix;
+pub mod parallel;
 pub mod production;
 pub mod related;
 pub mod report;

@@ -43,20 +43,20 @@ pub struct Fig14Result {
 /// at 25%; the share where QoSh's tail crosses 15 µs defines the maximal
 /// admissible share used by Figs. 15/16.
 pub fn fig14(scale: Scale) -> Fig14Result {
-    let mut points = Vec::new();
-    for share in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0] {
+    let sweep = vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0];
+    let points = crate::parallel::run_sweep(sweep, |share| {
         let x = share / 100.0;
         let mix = [x, 0.25, (1.0_f64 - x - 0.25).max(0.0)];
         let r = run_macro(setup_33(scale, mix, PolicyChoice::Static, 1400 + share as u64));
-        points.push(Fig14Point {
+        Fig14Point {
             share_pct: share,
             p999_us: [
                 p999_rnl_us(&r.completions, QosClass(0)),
                 p999_rnl_us(&r.completions, QosClass(1)),
                 p999_rnl_us(&r.completions, QosClass(2)),
             ],
-        });
-    }
+        }
+    });
     Fig14Result { points }
 }
 
@@ -112,21 +112,21 @@ pub fn fig15(scale: Scale) -> Fig15Result {
         [0.50, 0.30, 0.20],
         [0.40, 0.40, 0.20],
     ];
-    let mut columns = Vec::new();
-    for (k, input) in inputs.iter().enumerate() {
+    let sweep: Vec<(usize, [f64; 3])> = inputs.into_iter().enumerate().collect();
+    let columns = crate::parallel::run_sweep(sweep, |(k, input)| {
         let r = run_macro(setup_33(
             scale,
-            *input,
+            input,
             PolicyChoice::Aequitas(slo_config_33()),
             1500 + k as u64,
         ));
         let adm = admitted_mix(&r.completions, 3);
-        columns.push(Fig15Column {
+        Fig15Column {
             input: input.map(|v| v * 100.0),
             admitted: [adm[0] * 100.0, adm[1] * 100.0, adm[2] * 100.0],
             qosh_p999_us: p999_rnl_us(&r.completions, QosClass::HIGH),
-        });
-    }
+        }
+    });
     Fig15Result {
         target: [25.0, 25.0, 50.0],
         columns,
@@ -181,8 +181,11 @@ pub struct Fig16Result {
 
 /// Fig. 16: vary the burst load ρ and record the admitted QoSh-share.
 pub fn fig16(scale: Scale) -> Fig16Result {
-    let mut points = Vec::new();
-    for (k, rho) in [1.4, 1.6, 1.8, 2.0, 2.2].iter().enumerate() {
+    let sweep: Vec<(usize, f64)> = [1.4, 1.6, 1.8, 2.0, 2.2]
+        .into_iter()
+        .enumerate()
+        .collect();
+    let points = crate::parallel::run_sweep(sweep, |(k, rho)| {
         let n = 33;
         let mut setup = setup_33(
             scale,
@@ -194,18 +197,18 @@ pub fn fig16(scale: Scale) -> Fig16Result {
             let mut w = node33_workload([0.6, 0.3, 0.1], None);
             w.arrival = aequitas_rpc::ArrivalProcess::BurstOnOff {
                 mu: 0.8,
-                rho: *rho,
+                rho,
                 period: SimDuration::from_us(100),
             };
             setup.workloads[h] = Some(w);
         }
         let r = run_macro(setup);
         let adm = admitted_mix(&r.completions, 3);
-        points.push(Fig16Point {
-            rho: *rho,
+        Fig16Point {
+            rho,
             share_pct: adm[0] * 100.0,
-        });
-    }
+        }
+    });
     let xs: Vec<f64> = points.iter().map(|p| p.rho).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.share_pct).collect();
     let fit_c = fit_inverse(&xs, &ys);

@@ -44,9 +44,9 @@ pub struct Fig3Result {
 /// Fig. 3: load steps 1× → 4× → 8× → 1× on a shared port; RNL tails follow.
 pub fn fig03(scale: Scale) -> Fig3Result {
     let phase = scale.pick(SimDuration::from_ms(6), SimDuration::from_ms(25));
-    let loads = [0.25, 1.0, 2.0, 0.25];
-    let mut windows = Vec::new();
-    for (k, load_x) in loads.iter().enumerate() {
+    let loads: Vec<(usize, f64)> = [0.25, 1.0, 2.0, 0.25].into_iter().enumerate().collect();
+    // Each phase is warmed independently, so the windows fan out.
+    let windows = crate::parallel::run_sweep(loads, |(k, load_x)| {
         // Each phase is run as its own (warmed) segment: two senders share
         // one downlink, each at load_x * 0.25 of line rate (so 2.0 -> 4x the
         // baseline offered bytes, overloading the port at 1.0 aggregate).
@@ -71,11 +71,11 @@ pub fn fig03(scale: Scale) -> Fig3Result {
         for c in &r.completions {
             p.record(c.rnl().as_us_f64());
         }
-        windows.push(EpisodeWindow {
+        EpisodeWindow {
             load_x: load_x * 4.0, // relative to the 0.25 baseline
             p99_us: p.p99(),
-        });
-    }
+        }
+    });
     Fig3Result { windows }
 }
 
@@ -214,29 +214,29 @@ pub fn fig24(clusters: usize) -> Fig24Result {
 
     // Per-cluster RNL change: each cluster is a fleet sample; the QoSh
     // worst-case delay is evaluated at the misaligned and aligned mixes.
-    let weights = vec![8.0, 4.0, 1.0];
-    let mut rnl_change_pct = Vec::new();
-    for k in 0..clusters {
-        let mut cluster = Fleet::synthetic(FleetConfig {
-            apps: 120,
-            seed: 9000 + k as u64,
-        });
-        let before = cluster.qos_mix();
-        cluster.align_cohort(1.0);
-        let after = cluster.qos_mix();
-        let delay = |mix: [f64; 3]| {
-            let spec = FluidSpec {
-                weights: weights.clone(),
-                shares: mix.to_vec(),
-                mu: 0.8,
-                rho: 1.3,
+    let weights = [8.0, 4.0, 1.0];
+    let mut rnl_change_pct =
+        crate::parallel::run_sweep((0..clusters).collect(), |k: usize| {
+            let mut cluster = Fleet::synthetic(FleetConfig {
+                apps: 120,
+                seed: 9000 + k as u64,
+            });
+            let before = cluster.qos_mix();
+            cluster.align_cohort(1.0);
+            let after = cluster.qos_mix();
+            let delay = |mix: [f64; 3]| {
+                let spec = FluidSpec {
+                    weights: weights.to_vec(),
+                    shares: mix.to_vec(),
+                    mu: 0.8,
+                    rho: 1.3,
+                };
+                fluid_delays(&spec)[0].max(1e-6)
             };
-            fluid_delays(&spec)[0].max(1e-6)
-        };
-        let d0 = delay(before);
-        let d1 = delay(after);
-        rnl_change_pct.push(100.0 * (d1 - d0) / d0);
-    }
+            let d0 = delay(before);
+            let d1 = delay(after);
+            100.0 * (d1 - d0) / d0
+        });
     rnl_change_pct.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Fig24Result {
         weeks,

@@ -331,16 +331,28 @@ pub struct Fig22Result {
     pub scores: Vec<SchemeScore>,
 }
 
-/// Run the full comparison.
+/// Run the full comparison. The six schemes are independent simulations on
+/// the same offered workload, so they fan out across the sweep harness.
 pub fn fig22(scale: Scale) -> Fig22Result {
-    let scores = vec![
-        scored("Aequitas", scale, 22_06, run_aequitas(scale)),
-        scored("pFabric", scale, 22_01, run_pfabric(scale)),
-        scored("QJump", scale, 22_02, run_qjump(scale)),
-        scored("D3", scale, 22_03 + DeadlineMode::D3 as u64, run_deadline(scale, DeadlineMode::D3)),
-        scored("PDQ", scale, 22_03 + DeadlineMode::Pdq as u64, run_deadline(scale, DeadlineMode::Pdq)),
-        scored("Homa", scale, 22_05, run_homa(scale)),
-    ];
+    let schemes: Vec<usize> = (0..6).collect();
+    let scores = crate::parallel::run_sweep(schemes, |k| match k {
+        0 => scored("Aequitas", scale, 22_06, run_aequitas(scale)),
+        1 => scored("pFabric", scale, 22_01, run_pfabric(scale)),
+        2 => scored("QJump", scale, 22_02, run_qjump(scale)),
+        3 => scored(
+            "D3",
+            scale,
+            22_03 + DeadlineMode::D3 as u64,
+            run_deadline(scale, DeadlineMode::D3),
+        ),
+        4 => scored(
+            "PDQ",
+            scale,
+            22_03 + DeadlineMode::Pdq as u64,
+            run_deadline(scale, DeadlineMode::Pdq),
+        ),
+        _ => scored("Homa", scale, 22_05, run_homa(scale)),
+    });
     Fig22Result { scores }
 }
 

@@ -9,6 +9,7 @@ use aequitas::{AequitasConfig, SloTarget};
 use aequitas_rpc::{ArrivalProcess, Priority, PrioritySpec, RpcCompletion, TrafficPattern, WorkloadSpec};
 use aequitas_sim_core::{SimDuration, SimTime};
 use aequitas_stats::Percentiles;
+use aequitas_netsim::QueueKind;
 use aequitas_workloads::{QosClass, QosMapping, SizeDist};
 
 /// 99.9th-percentile RNL (µs) of RPCs that *ran* on `qos`.
@@ -78,15 +79,30 @@ fn fig11_workload() -> WorkloadSpec {
 /// Fig. 11: two line-rate channels of 32 KB WRITEs (70% QoSh / 30% QoSl)
 /// into one server; the QoSh SLO is swept from 15 µs to 60 µs.
 pub fn fig11(scale: Scale) -> Fig11Result {
-    let mut points = Vec::new();
+    fig11_configured(scale, crate::parallel::worker_threads(), QueueKind::Calendar)
+}
+
+/// [`fig11`] with an explicit sweep worker count and engine event-queue
+/// backend. The result must not depend on either knob — the determinism
+/// integration test runs this at 1 vs N workers and heap vs calendar and
+/// asserts identical output.
+pub fn fig11_configured(scale: Scale, threads: usize, queue: QueueKind) -> Fig11Result {
     let sweep: &[f64] = if scale.full {
         &[15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0]
     } else {
         &[15.0, 25.0, 40.0, 60.0]
     };
-    for &slo_us in sweep {
+    let points = crate::parallel::run_sweep_on(threads, sweep.to_vec(), |slo_us| {
+        fig11_point(scale, slo_us, queue)
+    });
+    Fig11Result { points }
+}
+
+fn fig11_point(scale: Scale, slo_us: f64, queue: QueueKind) -> Fig11Point {
+    {
         let mut setup = MacroSetup::star_3qos(3);
         setup.engine = aequitas_netsim::EngineConfig::default_2qos();
+        setup.engine.event_queue = queue;
         setup.mapping = QosMapping::two_level();
         setup.policy = PolicyChoice::Aequitas(AequitasConfig::two_qos(SloTarget::absolute(
             SimDuration::from_us_f64(slo_us),
@@ -136,13 +152,12 @@ pub fn fig11(scale: Scale) -> Fig11Result {
         // 70% of issues are PC; the admitted-on-QoSh share of all issued
         // bytes (equal sizes) is 0.7 minus the downgraded fraction.
         let qosh_share = 0.7 - downgraded as f64 / issued.max(1) as f64;
-        points.push(Fig11Point {
+        Fig11Point {
             slo_us,
             p999_us: p999_rnl_us(&r.completions, QosClass::HIGH),
             qosh_share,
-        });
+        }
     }
-    Fig11Result { points }
 }
 
 /// Print Fig. 11.

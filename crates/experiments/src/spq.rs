@@ -41,35 +41,42 @@ fn base_setup(scale: Scale, mix: [f64; 3], seed: u64) -> MacroSetup {
 /// Fig. 19: QoSm fixed at 20%, QoSh-share swept 50–80%; SPQ (static
 /// priorities pushed into the fabric) versus Aequitas over WFQ.
 pub fn fig19(scale: Scale) -> Fig19Result {
-    let mut points = Vec::new();
-    for share in [50.0, 60.0, 70.0, 80.0] {
+    // Each (share, scheme) pair is an independent run; fan them all out and
+    // pair the halves back up afterwards.
+    let sweep: Vec<(f64, bool)> = [50.0, 60.0, 70.0, 80.0]
+        .into_iter()
+        .flat_map(|share| [(share, false), (share, true)])
+        .collect();
+    let runs = crate::parallel::run_sweep(sweep, |(share, aequitas)| {
         let x = share / 100.0;
         let mix = [x, 0.20, (0.80_f64 - x).max(0.0)];
-
-        // SPQ, no admission control.
-        let mut spq_setup = base_setup(scale, mix, 1900 + share as u64);
-        spq_setup.engine.switch_scheduler = SchedulerKind::Spq(3);
-        spq_setup.engine.host_scheduler = SchedulerKind::Spq(3);
-        spq_setup.policy = PolicyChoice::Static;
-        let spq = run_macro(spq_setup);
-
-        // Aequitas over WFQ.
-        let mut aq_setup = base_setup(scale, mix, 1950 + share as u64);
-        aq_setup.policy = PolicyChoice::Aequitas(slo_config_33());
-        let aq = run_macro(aq_setup);
-
-        points.push(Fig19Point {
+        let r = if aequitas {
+            // Aequitas over WFQ.
+            let mut aq_setup = base_setup(scale, mix, 1950 + share as u64);
+            aq_setup.policy = PolicyChoice::Aequitas(slo_config_33());
+            run_macro(aq_setup)
+        } else {
+            // SPQ, no admission control.
+            let mut spq_setup = base_setup(scale, mix, 1900 + share as u64);
+            spq_setup.engine.switch_scheduler = SchedulerKind::Spq(3);
+            spq_setup.engine.host_scheduler = SchedulerKind::Spq(3);
+            spq_setup.policy = PolicyChoice::Static;
+            run_macro(spq_setup)
+        };
+        [
+            p999_rnl_us(&r.completions, QosClass(0)),
+            p999_rnl_us(&r.completions, QosClass(1)),
+        ]
+    });
+    let points = runs
+        .chunks_exact(2)
+        .zip([50.0, 60.0, 70.0, 80.0])
+        .map(|(pair, share)| Fig19Point {
             share_pct: share,
-            spq_us: [
-                p999_rnl_us(&spq.completions, QosClass(0)),
-                p999_rnl_us(&spq.completions, QosClass(1)),
-            ],
-            aequitas_us: [
-                p999_rnl_us(&aq.completions, QosClass(0)),
-                p999_rnl_us(&aq.completions, QosClass(1)),
-            ],
-        });
-    }
+            spq_us: pair[0],
+            aequitas_us: pair[1],
+        })
+        .collect();
     Fig19Result {
         slo_us: [15.0, 25.0],
         points,

@@ -14,7 +14,7 @@ use crate::report::{f3, print_table};
 use aequitas_analysis::{delay_h, delay_l, fluid_delays, guaranteed_share, FluidSpec, TwoQosParams};
 use aequitas_netsim::{
     Engine, EngineConfig, FlowKey, HostAgent, HostCtx, HostId, LinkSpec, Packet, PacketKind,
-    SchedulerKind, Topology,
+    QueueKind, SchedulerKind, Topology,
 };
 use aequitas_sim_core::{SimDuration, SimTime};
 
@@ -319,6 +319,7 @@ pub fn fig10(scale: Scale) -> Fig10Result {
             classes: 2,
             loss_probability: 0.0,
             loss_seed: 0,
+            event_queue: QueueKind::Calendar,
         };
         let mut agents: Vec<BurstBlaster> = (0..n_senders)
             .map(|_| {

@@ -3,7 +3,7 @@
 use crate::packet::Packet;
 use crate::port::{Port, PortStats, SchedulerKind};
 use crate::topology::{HostId, NodeRef, SwitchId, Topology};
-use aequitas_sim_core::{EventQueue, SimRng, SimTime};
+use aequitas_sim_core::{EventQueue, QueueKind, SimRng, SimTime};
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +28,10 @@ pub struct EngineConfig {
     pub loss_probability: f64,
     /// Seed for the loss stream.
     pub loss_seed: u64,
+    /// Future-event list backend. [`QueueKind::Calendar`] (default) is the
+    /// fast path; [`QueueKind::Heap`] is the reference implementation kept
+    /// for A/B determinism checks and benchmarks.
+    pub event_queue: QueueKind,
 }
 
 impl EngineConfig {
@@ -43,6 +47,7 @@ impl EngineConfig {
             classes: 3,
             loss_probability: 0.0,
             loss_seed: 0,
+            event_queue: QueueKind::Calendar,
         }
     }
 
@@ -57,6 +62,7 @@ impl EngineConfig {
             classes: 2,
             loss_probability: 0.0,
             loss_seed: 0,
+            event_queue: QueueKind::Calendar,
         }
     }
 }
@@ -181,7 +187,7 @@ impl<A: HostAgent> Engine<A> {
             .collect();
         let loss_rng = SimRng::new(config.loss_seed ^ 0x10_55);
         Engine {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(config.event_queue),
             topo,
             config,
             switches,
@@ -251,16 +257,21 @@ impl<A: HostAgent> Engine<A> {
             };
             f(&mut self.agents[host.0], &mut ctx);
         }
-        // Apply buffered actions.
-        let send = std::mem::take(&mut self.scratch_actions.send);
-        let timers = std::mem::take(&mut self.scratch_actions.timers);
-        for pkt in send {
+        // Apply buffered actions. The vectors are moved out, drained, and
+        // moved back so their capacity is reused across events — the apply
+        // loops below never re-enter an agent callback, so the (empty)
+        // buffers left in `scratch_actions` cannot be written to meanwhile.
+        let mut send = std::mem::take(&mut self.scratch_actions.send);
+        let mut timers = std::mem::take(&mut self.scratch_actions.timers);
+        for pkt in send.drain(..) {
             self.host_transmit(host, pkt);
         }
-        for (at, token) in timers {
+        for (at, token) in timers.drain(..) {
             let at = at.max(now);
             self.queue.schedule(at, Event::Timer { host, token });
         }
+        self.scratch_actions.send = send;
+        self.scratch_actions.timers = timers;
     }
 
     /// Hand `pkt` to `host`'s NIC: enqueue and kick the transmitter.
@@ -306,13 +317,10 @@ impl<A: HostAgent> Engine<A> {
         self.injected_losses
     }
 
-    /// Dispatch one event. Returns false when the queue is empty.
-    fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
-            return false;
-        };
+    /// Dispatch one already-popped event.
+    fn dispatch(&mut self, ev: Event) {
         self.events_processed += 1;
-        match ev.event {
+        match ev {
             Event::Arrive { node, pkt } => match node {
                 NodeRef::Host(h) => {
                     debug_assert_eq!(pkt.dst(), h, "packet misrouted to host {}", h.0);
@@ -323,7 +331,7 @@ impl<A: HostAgent> Engine<A> {
                         && self.loss_rng.bernoulli(self.config.loss_probability)
                     {
                         self.injected_losses += 1;
-                        return true; // fault injection: packet vanishes
+                        return; // fault injection: packet vanishes
                     }
                     let port = self.topo.route(s, pkt.dst(), pkt.flow.ecmp_hash());
                     if self.switches[s.0].ports[port].enqueue(pkt) {
@@ -368,7 +376,6 @@ impl<A: HostAgent> Engine<A> {
                 self.call_agent(host, |agent, ctx| agent.on_timer(ctx, token));
             }
         }
-        true
     }
 
     /// Run until simulated time reaches `end` (or the event queue drains).
@@ -379,11 +386,9 @@ impl<A: HostAgent> Engine<A> {
                 self.call_agent(HostId(h), |agent, ctx| agent.on_start(ctx));
             }
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > end {
-                break;
-            }
-            self.step();
+        // Single bounded probe per event instead of a peek + pop pair.
+        while let Some(ev) = self.queue.pop_if_at_or_before(end) {
+            self.dispatch(ev.event);
         }
     }
 

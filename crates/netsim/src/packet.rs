@@ -2,12 +2,11 @@
 
 use crate::topology::HostId;
 use aequitas_sim_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a transport-level flow: one direction of a (src, dst, QoS
 /// class) connection. The paper's prototype maps an RPC channel to one TCP
 /// socket per QoS; this is the simulator analogue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Sending host.
     pub src: HostId,
@@ -35,7 +34,7 @@ impl FlowKey {
 }
 
 /// The payload-bearing part of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// A data segment of message `msg_id`; `seq` is the segment index and
     /// `is_last` marks the final segment.
@@ -71,7 +70,7 @@ pub enum PacketKind {
 }
 
 /// A simulated packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Globally unique packet id (assigned by the sender).
     pub id: u64,

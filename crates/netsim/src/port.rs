@@ -5,10 +5,9 @@ use aequitas_qdisc::{
     Dequeued, DwrrScheduler, FifoScheduler, PifoPush, PifoQueue, Scheduler, SpqScheduler,
     WfqScheduler,
 };
-use serde::{Deserialize, Serialize};
 
 /// Which scheduling discipline an egress port runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum SchedulerKind {
     /// Virtual-time WFQ with the given class weights.
     Wfq(Vec<f64>),
@@ -29,7 +28,7 @@ pub enum SchedulerKind {
 }
 
 /// Counters exported by every port.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PortStats {
     /// Packets transmitted per class.
     pub tx_packets: Vec<u64>,

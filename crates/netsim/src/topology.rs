@@ -1,18 +1,17 @@
 //! Network topologies and routing.
 
 use aequitas_sim_core::{BitRate, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// A host (end system) index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub usize);
 
 /// A switch index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwitchId(pub usize);
 
 /// Either kind of node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeRef {
     /// A host.
     Host(HostId),
@@ -21,7 +20,7 @@ pub enum NodeRef {
 }
 
 /// Physical properties of one direction of a link.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkSpec {
     /// Transmission rate.
     pub rate: BitRate,
@@ -41,7 +40,7 @@ impl LinkSpec {
 }
 
 /// One egress port of a node: where it leads and over what link.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PortSpec {
     /// The node at the far end.
     pub peer: NodeRef,
@@ -54,7 +53,7 @@ pub struct PortSpec {
 /// Hosts always have exactly one port (their NIC uplink). Routing is
 /// destination-based with optional ECMP: a switch may list several candidate
 /// egress ports for a destination and the engine picks one by flow hash.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     /// Per-host uplink port.
     pub host_ports: Vec<PortSpec>,

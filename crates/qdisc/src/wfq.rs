@@ -29,6 +29,12 @@ pub struct WfqScheduler<T> {
     last_finish: Vec<f64>,
     virtual_time: f64,
     buffer: BufferAccounting,
+    /// Bitmask of non-empty classes, maintained only when there are at most
+    /// 64 classes (always true in practice — the fabric runs 2, 3, or 8).
+    /// Enables the single-backlogged-class dequeue fast path: under Swift
+    /// congestion control fabric queues are near-empty, so one backlogged
+    /// class at a time is the common case.
+    backlogged: u64,
 }
 
 impl<T> WfqScheduler<T> {
@@ -50,7 +56,13 @@ impl<T> WfqScheduler<T> {
             last_finish: vec![0.0; weights.len()],
             virtual_time: 0.0,
             buffer: BufferAccounting::new(capacity_bytes),
+            backlogged: 0,
         }
+    }
+
+    #[inline]
+    fn mask_usable(&self) -> bool {
+        self.queues.len() <= 64
     }
 
     /// The configured class weights.
@@ -87,24 +99,56 @@ impl<T> Scheduler<T> for WfqScheduler<T> {
             finish_tag: finish,
             item,
         });
+        if self.mask_usable() {
+            self.backlogged |= 1u64 << class;
+        }
         Ok(())
     }
 
     fn dequeue(&mut self) -> Option<Dequeued<T>> {
         // Pick the backlogged class whose head packet has the smallest finish
         // tag (ties broken by lower class index for determinism).
-        let mut best: Option<(usize, f64)> = None;
-        for (c, q) in self.queues.iter().enumerate() {
-            if let Some(head) = q.front() {
-                match best {
-                    Some((_, tag)) if head.finish_tag >= tag => {}
-                    _ => best = Some((c, head.finish_tag)),
+        let class = if self.mask_usable() {
+            let mask = self.backlogged;
+            if mask == 0 {
+                return None;
+            }
+            if mask & (mask - 1) == 0 {
+                // Fast path: exactly one backlogged class — no tag comparison
+                // needed, its head is the minimum by construction.
+                mask.trailing_zeros() as usize
+            } else {
+                let mut best: Option<(usize, f64)> = None;
+                let mut m = mask;
+                while m != 0 {
+                    let c = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let tag = self.queues[c].front().expect("masked class backlogged").finish_tag;
+                    match best {
+                        Some((_, t)) if tag >= t => {}
+                        _ => best = Some((c, tag)),
+                    }
+                }
+                best.expect("mask non-empty").0
+            }
+        } else {
+            // > 64 classes: full scan (never hit by the shipped configs).
+            let mut best: Option<(usize, f64)> = None;
+            for (c, q) in self.queues.iter().enumerate() {
+                if let Some(head) = q.front() {
+                    match best {
+                        Some((_, tag)) if head.finish_tag >= tag => {}
+                        _ => best = Some((c, head.finish_tag)),
+                    }
                 }
             }
-        }
-        let (class, tag) = best?;
+            best?.0
+        };
         let pkt = self.queues[class].pop_front().expect("head exists");
-        self.virtual_time = tag;
+        if self.mask_usable() && self.queues[class].is_empty() {
+            self.backlogged &= !(1u64 << class);
+        }
+        self.virtual_time = pkt.finish_tag;
         self.class_bytes[class] -= pkt.bytes as u64;
         self.buffer.release(pkt.bytes);
         if self.buffer.packets() == 0 {

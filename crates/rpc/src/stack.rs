@@ -5,7 +5,6 @@ use aequitas_netsim::{HostCtx, HostId, Packet};
 use aequitas_sim_core::{SimDuration, SimTime};
 use aequitas_transport::{Transport, TransportConfig};
 use aequitas_workloads::{size_in_mtus, Priority, QosClass, QosMapping};
-use std::collections::HashMap;
 
 /// The admission policy plugged into the stack.
 pub enum Policy {
@@ -106,13 +105,53 @@ struct PendingRpc {
     downgraded: bool,
 }
 
+/// Outstanding-RPC table keyed by rpc id. Ids are allocated monotonically
+/// (`(host << 32) + counter`), so a ring offset from the oldest live id
+/// replaces hashing: insert is a `push_back`, lookup is a subtract + index.
+/// Completed slots become `None` and the front is trimmed lazily, so the
+/// ring length tracks the *span* of outstanding ids, which windowing keeps
+/// small.
+#[derive(Debug, Default)]
+struct PendingTable {
+    base: u64,
+    ring: std::collections::VecDeque<Option<PendingRpc>>,
+    live: usize,
+}
+
+impl PendingTable {
+    /// Insert `info` under `id`; ids must arrive in allocation order.
+    fn insert(&mut self, id: u64, info: PendingRpc) {
+        if self.ring.is_empty() {
+            self.base = id;
+        }
+        debug_assert_eq!(id, self.base + self.ring.len() as u64);
+        self.ring.push_back(Some(info));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: u64) -> Option<PendingRpc> {
+        let idx = id.checked_sub(self.base)? as usize;
+        let info = self.ring.get_mut(idx)?.take()?;
+        self.live -= 1;
+        while let Some(None) = self.ring.front() {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+        Some(info)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
 /// Per-host RPC stack: priority→QoS mapping, admission policy, transport.
 pub struct RpcStack {
     host: HostId,
     mapping: QosMapping,
     policy: Policy,
     transport: Transport,
-    pending: HashMap<u64, PendingRpc>,
+    pending: PendingTable,
     completions: Vec<RpcCompletion>,
     next_rpc_id: u64,
     dropped: u64,
@@ -139,7 +178,7 @@ impl RpcStack {
             mapping,
             policy,
             transport: Transport::new(host, transport_config),
-            pending: HashMap::new(),
+            pending: PendingTable::default(),
             completions: Vec::new(),
             next_rpc_id: (host.0 as u64) << 32,
             dropped: 0,
@@ -335,7 +374,7 @@ impl RpcStack {
 
     fn harvest(&mut self, _now: SimTime) {
         for done in self.transport.take_completions() {
-            let Some(info) = self.pending.remove(&done.msg_id) else {
+            let Some(info) = self.pending.remove(done.msg_id) else {
                 debug_assert!(false, "completion for unknown rpc {}", done.msg_id);
                 continue;
             };

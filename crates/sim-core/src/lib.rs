@@ -20,6 +20,6 @@ pub mod event;
 pub mod rng;
 pub mod time;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, QueueKind, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{BitRate, SimDuration, SimTime};

@@ -1,44 +1,79 @@
 //! Deterministic random number generation for simulations.
 //!
-//! Wraps a seedable PRNG and adds the distribution samplers the workload
-//! generators need. Log-normal and exponential sampling are implemented here
-//! directly (inverse transform / Box-Muller) to keep the dependency set to
-//! the approved list.
+//! Implements the generator in-crate (xoshiro256** seeded via splitmix64)
+//! so the workspace has no external RNG dependency and the stream is fully
+//! specified by this file: the same seed always yields the same stream, on
+//! every platform and toolchain. Log-normal and exponential sampling are
+//! implemented directly (inverse transform / Box-Muller).
 
 use crate::time::SimDuration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A deterministic, seedable RNG with simulation-oriented helpers.
+///
+/// The core generator is xoshiro256** (Blackman & Vigna), whose 256-bit
+/// state is expanded from the 64-bit seed with splitmix64 — the standard
+/// seeding recipe, which guarantees a non-zero state and decorrelates
+/// consecutive seeds.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed. The same seed always yields the same
     /// stream.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Derive an independent child generator; useful for giving each host its
     /// own stream so that adding hosts does not perturb existing ones.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s: u64 = self.inner.gen();
+        let s = self.next_u64();
         SimRng::new(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 random bits.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "uniform_range needs lo < hi");
+        let span = hi - lo;
+        // Widening-multiply range reduction (Lemire); the modulo bias is
+        // below 2^-64 per draw, far under anything the simulations resolve.
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
@@ -49,7 +84,7 @@ impl SimRng {
         if p <= 0.0 {
             return false;
         }
-        self.inner.gen::<f64>() < p
+        self.uniform() < p
     }
 
     /// Exponentially distributed value with the given `mean` (inverse
@@ -57,7 +92,7 @@ impl SimRng {
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
         // Avoid ln(0): u in (0, 1].
-        let u = 1.0 - self.inner.gen::<f64>();
+        let u = 1.0 - self.uniform();
         -mean * u.ln()
     }
 
@@ -70,8 +105,8 @@ impl SimRng {
 
     /// Standard normal sample via Box-Muller.
     pub fn std_normal(&mut self) -> f64 {
-        let u1: f64 = 1.0 - self.inner.gen::<f64>(); // (0, 1]
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.uniform(); // (0, 1]
+        let u2: f64 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -85,7 +120,7 @@ impl SimRng {
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weighted_index needs a positive total weight");
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.uniform() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {
                 return i;
@@ -93,11 +128,6 @@ impl SimRng {
             x -= w;
         }
         weights.len() - 1
-    }
-
-    /// Raw access for callers that need other `rand` APIs.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -120,6 +150,27 @@ mod tests {
         let mut b = SimRng::new(2);
         let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        // splitmix64 expansion guarantees a non-degenerate state even for
+        // seed 0 (all-zero state would be a xoshiro fixed point).
+        let mut rng = SimRng::new(0);
+        assert_ne!(rng.s, [0; 4]);
+        let distinct: std::collections::HashSet<u64> = (0..64).map(|_| rng.next_u64()).collect();
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
+    fn uniform_range_stays_in_bounds() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..10_000 {
+            let v = rng.uniform_range(10, 17);
+            assert!((10..17).contains(&v));
+        }
+        // Degenerate one-wide range.
+        assert_eq!(rng.uniform_range(5, 6), 5);
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! picosecond clock wraps after ~213 days of simulated time — far beyond any
 //! experiment in this repository.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -21,13 +20,13 @@ pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 /// An instant in simulated time, measured in picoseconds since simulation
 /// start.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, measured in picoseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(pub u64);
 
@@ -241,7 +240,7 @@ impl fmt::Display for SimDuration {
 /// Provides exact serialization times in picoseconds for common datacenter
 /// rates (any rate that divides 10^12 bit-ps evenly; 100 Gbps gives 10 ps per
 /// bit, 80 ps per byte).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BitRate(pub u64);
 
 impl BitRate {

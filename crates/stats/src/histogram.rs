@@ -1,11 +1,10 @@
 //! Fixed-bucket histograms and empirical CDFs.
 
-use serde::{Deserialize, Serialize};
 
 /// A histogram over `[lo, hi)` with uniformly sized buckets, plus overflow
 /// and underflow counters. Doubles as an empirical CDF for figure output
 /// (e.g. outstanding-RPC CDFs in Fig. 13).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

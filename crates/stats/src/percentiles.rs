@@ -5,13 +5,11 @@
 //! memory and sort costs are trivial, and exactness means figure comparisons
 //! are not polluted by sketch approximation error.
 
-use serde::{Deserialize, Serialize};
 
 /// Collects `f64` samples and answers percentile queries exactly.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Percentiles {
     samples: Vec<f64>,
-    #[serde(skip)]
     sorted: bool,
 }
 

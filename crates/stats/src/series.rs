@@ -1,11 +1,10 @@
 //! Time-series traces for convergence plots.
 
 use aequitas_sim_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A `(time, value)` trace, e.g. admit probability or throughput over time
 /// (Figs. 17, 18, 28, 29).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

@@ -1,7 +1,6 @@
 //! Windowed throughput accounting.
 
 use aequitas_sim_core::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::series::TimeSeries;
 
@@ -9,7 +8,7 @@ use crate::series::TimeSeries;
 ///
 /// Used for the throughput-versus-time panels of the fairness experiments
 /// (Figs. 17/18) and for goodput/utilization accounting (Fig. 22).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputMeter {
     window: SimDuration,
     window_start: SimTime,

@@ -5,8 +5,8 @@ use crate::config::TransportConfig;
 use crate::swift::SwiftCc;
 use crate::CompletedMessage;
 use aequitas_netsim::FlowKey;
-use aequitas_sim_core::{SimTime};
-use std::collections::{HashMap, VecDeque};
+use aequitas_sim_core::SimTime;
+use std::collections::VecDeque;
 
 /// Counters exported per connection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,19 +21,25 @@ pub struct ConnectionStats {
     pub completed_bytes: u64,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct UnackedSeg {
+    sent_at: SimTime,
+    retx: u32,
+}
+
 #[derive(Debug)]
 struct MsgState {
+    msg_id: u64,
     size_bytes: u64,
     total_segs: u32,
     next_seg: u32,
     acked_segs: u32,
     issued_at: SimTime,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct UnackedSeg {
-    sent_at: SimTime,
-    retx: u32,
+    /// Outstanding-segment table indexed by `seq`; `None` = not in flight
+    /// (never sent, or already acked). One allocation per message instead of
+    /// hash-map churn per segment, and iteration is in deterministic `seq`
+    /// order.
+    segs: Vec<Option<UnackedSeg>>,
 }
 
 /// What the connection wants to do next.
@@ -55,14 +61,15 @@ pub(crate) enum Transmit {
 }
 
 pub(crate) struct Connection {
-    #[allow(dead_code)]
-    flow: FlowKey,
+    pub(crate) flow: FlowKey,
     pub(crate) cc: SwiftCc,
     /// Messages in FIFO order; segments of message k+1 are not sent until
     /// all segments of message k have been *sent* (stream semantics).
     send_order: VecDeque<u64>,
-    msgs: HashMap<u64, MsgState>,
-    unacked: HashMap<(u64, u32), UnackedSeg>,
+    /// Live messages in issue order. Message ids are allocated monotonically
+    /// per host, so this stays sorted by `msg_id`; lookups scan from the
+    /// front, where windowing keeps the messages being acked.
+    msgs: Vec<MsgState>,
     inflight: usize,
     next_send_allowed: SimTime,
     stats: ConnectionStats,
@@ -74,27 +81,29 @@ impl Connection {
             flow,
             cc: SwiftCc::new(config),
             send_order: VecDeque::new(),
-            msgs: HashMap::new(),
-            unacked: HashMap::new(),
+            msgs: Vec::new(),
             inflight: 0,
             next_send_allowed: SimTime::ZERO,
             stats: ConnectionStats::default(),
         }
     }
 
+    fn msg_pos(&self, msg_id: u64) -> Option<usize> {
+        self.msgs.iter().position(|m| m.msg_id == msg_id)
+    }
+
     pub(crate) fn enqueue_message(&mut self, msg_id: u64, size_bytes: u64, mtu: u64, now: SimTime) {
         let total_segs = size_bytes.div_ceil(mtu).max(1) as u32;
-        let prev = self.msgs.insert(
+        assert!(self.msg_pos(msg_id).is_none(), "duplicate msg_id {msg_id}");
+        self.msgs.push(MsgState {
             msg_id,
-            MsgState {
-                size_bytes,
-                total_segs,
-                next_seg: 0,
-                acked_segs: 0,
-                issued_at: now,
-            },
-        );
-        assert!(prev.is_none(), "duplicate msg_id {msg_id}");
+            size_bytes,
+            total_segs,
+            next_seg: 0,
+            acked_segs: 0,
+            issued_at: now,
+            segs: vec![None; total_segs as usize],
+        });
         self.send_order.push_back(msg_id);
     }
 
@@ -114,7 +123,7 @@ impl Connection {
 
     /// Payload bytes of segment `seq` of `msg_id`.
     pub(crate) fn segment_bytes(&self, msg_id: u64, seq: u32, mtu: u64) -> u32 {
-        let msg = &self.msgs[&msg_id];
+        let msg = &self.msgs[self.msg_pos(msg_id).expect("message exists")];
         if seq + 1 < msg.total_segs {
             mtu as u32
         } else {
@@ -127,7 +136,7 @@ impl Connection {
     pub(crate) fn next_transmission(&mut self, now: SimTime, _config: &TransportConfig) -> Transmit {
         // Drop fully-sent heads.
         while let Some(&head) = self.send_order.front() {
-            let msg = &self.msgs[&head];
+            let msg = &self.msgs[self.msg_pos(head).expect("queued message exists")];
             if msg.next_seg >= msg.total_segs {
                 self.send_order.pop_front();
             } else {
@@ -153,7 +162,8 @@ impl Connection {
             }
         }
 
-        let msg = self.msgs.get_mut(&head).expect("head exists");
+        let pos = self.msg_pos(head).expect("head exists");
+        let msg = &mut self.msgs[pos];
         let seq = msg.next_seg;
         msg.next_seg += 1;
         Transmit::Segment {
@@ -164,17 +174,26 @@ impl Connection {
     }
 
     /// Record a (re)transmission of a segment.
-    pub(crate) fn mark_sent(&mut self, msg_id: u64, seq: u32, now: SimTime, config: &TransportConfig) {
+    pub(crate) fn mark_sent(
+        &mut self,
+        msg_id: u64,
+        seq: u32,
+        now: SimTime,
+        config: &TransportConfig,
+    ) {
         self.stats.sent_segments += 1;
-        match self.unacked.get_mut(&(msg_id, seq)) {
+        let pos = self.msg_pos(msg_id).expect("message exists");
+        match &mut self.msgs[pos].segs[seq as usize] {
             Some(entry) => {
                 entry.sent_at = now;
                 entry.retx += 1;
                 self.stats.retransmits += 1;
             }
-            None => {
-                self.unacked
-                    .insert((msg_id, seq), UnackedSeg { sent_at: now, retx: 0 });
+            slot @ None => {
+                *slot = Some(UnackedSeg {
+                    sent_at: now,
+                    retx: 0,
+                });
                 self.inflight += 1;
             }
         }
@@ -193,16 +212,19 @@ impl Connection {
         now: SimTime,
         config: &TransportConfig,
     ) -> Option<CompletedMessage> {
-        let Some(_) = self.unacked.remove(&(msg_id, seq)) else {
+        let pos = self.msg_pos(msg_id)?;
+        if self.msgs[pos].segs[seq as usize].take().is_none() {
             return None; // duplicate or stale ACK
-        };
+        }
         self.inflight -= 1;
         self.cc.on_ack(rtt, now, config);
 
-        let msg = self.msgs.get_mut(&msg_id)?;
+        let msg = &mut self.msgs[pos];
         msg.acked_segs += 1;
         if msg.acked_segs == msg.total_segs {
-            let msg = self.msgs.remove(&msg_id).expect("message exists");
+            // `remove`, not `swap_remove`: keeps `msgs` in issue order so
+            // front-of-vec scans stay short and iteration stays sorted.
+            let msg = self.msgs.remove(pos);
             self.stats.completed_messages += 1;
             self.stats.completed_bytes += msg.size_bytes;
             return Some(CompletedMessage {
@@ -216,30 +238,33 @@ impl Connection {
         None
     }
 
-    /// Collect segments whose retransmission timeout has expired, refreshing
-    /// their timers and shrinking the window once if anything expired.
+    /// Append segments whose retransmission timeout has expired to
+    /// `expired` as `(msg_id, seq, is_last)`, shrinking the window once if
+    /// anything expired. The caller owns (and reuses) the buffer.
     pub(crate) fn take_expired(
         &mut self,
         now: SimTime,
         config: &TransportConfig,
-    ) -> Vec<(u64, u32, bool)> {
+        expired: &mut Vec<(u64, u32, bool)>,
+    ) {
         let rto = self.cc.rto(config);
-        let mut expired = Vec::new();
-        for (&(msg_id, seq), entry) in &self.unacked {
-            if now.saturating_since(entry.sent_at) >= rto {
-                let is_last = self
-                    .msgs
-                    .get(&msg_id)
-                    .map(|m| seq + 1 == m.total_segs)
-                    .unwrap_or(false);
-                expired.push((msg_id, seq, is_last));
+        let before = expired.len();
+        for msg in &self.msgs {
+            for (seq, entry) in msg.segs.iter().enumerate() {
+                let Some(entry) = entry else { continue };
+                if now.saturating_since(entry.sent_at) >= rto {
+                    let seq = seq as u32;
+                    expired.push((msg.msg_id, seq, seq + 1 == msg.total_segs));
+                }
             }
         }
-        if !expired.is_empty() {
+        if expired.len() > before {
             self.cc.on_timeout(config);
-            // Deterministic retransmission order.
-            expired.sort_unstable();
+            // Deterministic retransmission order: `msgs` is in ascending
+            // msg_id order and segments are scanned in seq order, so the
+            // slice is already sorted; the sort stays as a cheap guard
+            // because retransmission order is a correctness contract here.
+            expired[before..].sort_unstable();
         }
-        expired
     }
 }

@@ -35,11 +35,18 @@ pub use swift::SwiftCc;
 use aequitas_netsim::{FlowKey, HostCtx, HostId, Packet, PacketKind};
 use aequitas_sim_core::{SimDuration, SimTime};
 use connection::Connection;
-use std::collections::HashMap;
 
 /// Timer tokens at or above this value belong to the transport; the RPC
 /// layer must route them to [`Transport::handle_timer`].
 pub const TRANSPORT_TIMER_BASE: u64 = 1 << 62;
+
+/// QoS classes per destination in the dense connection index. The paper's
+/// configurations use at most 5 classes (fig. 19 sweeps up to 8 SPQ levels);
+/// 16 leaves headroom without bloating the table.
+const CLASS_SLOTS: usize = 16;
+
+/// Sentinel for "no connection" in the dense index.
+const NO_CONN: u32 = u32::MAX;
 
 /// A message fully delivered and acknowledged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,8 +74,16 @@ impl CompletedMessage {
 pub struct Transport {
     host: HostId,
     config: TransportConfig,
-    connections: HashMap<FlowKey, Connection>,
+    /// Live connections in creation order. Iterating this (rather than a
+    /// hash map) keeps retransmission scans deterministic across runs and
+    /// allocation-free.
+    conns: Vec<Connection>,
+    /// Dense (dst, class) -> index into `conns`; `NO_CONN` = absent. Grown
+    /// on demand to `(dst + 1) * CLASS_SLOTS` entries.
+    conn_index: Vec<u32>,
     completions: Vec<CompletedMessage>,
+    /// Scratch buffer reused by [`Transport::handle_timer`] scans.
+    expired_scratch: Vec<(u64, u32, bool)>,
     retx_timer_armed: bool,
     /// Earliest outstanding pacing wakeup; dedupes wakeups so that pumping
     /// many paced connections cannot multiply timers.
@@ -82,12 +97,38 @@ impl Transport {
         Transport {
             host,
             config,
-            connections: HashMap::new(),
+            conns: Vec::new(),
+            conn_index: Vec::new(),
             completions: Vec::new(),
+            expired_scratch: Vec::new(),
             retx_timer_armed: false,
             next_pace_wake: SimTime::MAX,
             next_packet_id: (host.0 as u64) << 40,
         }
+    }
+
+    fn slot(flow: &FlowKey) -> usize {
+        debug_assert!((flow.class as usize) < CLASS_SLOTS);
+        flow.dst.0 * CLASS_SLOTS + flow.class as usize
+    }
+
+    fn conn_idx(&self, flow: &FlowKey) -> Option<usize> {
+        match self.conn_index.get(Self::slot(flow)) {
+            Some(&idx) if idx != NO_CONN => Some(idx as usize),
+            _ => None,
+        }
+    }
+
+    fn conn_idx_or_insert(&mut self, flow: FlowKey) -> usize {
+        let slot = Self::slot(&flow);
+        if slot >= self.conn_index.len() {
+            self.conn_index.resize(slot + CLASS_SLOTS, NO_CONN);
+        }
+        if self.conn_index[slot] == NO_CONN {
+            self.conn_index[slot] = self.conns.len() as u32;
+            self.conns.push(Connection::new(flow, &self.config));
+        }
+        self.conn_index[slot] as usize
     }
 
     /// Enqueue a message for transmission to `dst` on QoS `class`.
@@ -108,12 +149,9 @@ impl Transport {
             class,
         };
         let mtu = self.config.mtu_bytes;
-        let conn = self
-            .connections
-            .entry(flow)
-            .or_insert_with(|| Connection::new(flow, &self.config));
-        conn.enqueue_message(msg_id, size_bytes, mtu, ctx.now());
-        self.pump(ctx, flow);
+        let idx = self.conn_idx_or_insert(flow);
+        self.conns[idx].enqueue_message(msg_id, size_bytes, mtu, ctx.now());
+        self.pump(ctx, idx);
         self.arm_retx_timer(ctx);
     }
 
@@ -152,12 +190,13 @@ impl Transport {
                     dst: pkt.src(),
                     class: pkt.flow.class,
                 };
-                if let Some(conn) = self.connections.get_mut(&flow) {
+                if let Some(idx) = self.conn_idx(&flow) {
                     let rtt = ctx.now().saturating_since(echo);
+                    let conn = &mut self.conns[idx];
                     if let Some(done) = conn.on_ack(msg_id, seq, rtt, ctx.now(), &self.config) {
                         self.completions.push(done);
                     }
-                    self.pump(ctx, flow);
+                    self.pump(ctx, idx);
                 }
                 true
             }
@@ -176,19 +215,21 @@ impl Transport {
         } else if ctx.now() >= self.next_pace_wake {
             self.next_pace_wake = SimTime::MAX;
         }
-        // Retransmit expired packets and resume paced connections.
-        let flows: Vec<FlowKey> = self.connections.keys().copied().collect();
-        for flow in flows {
+        // Retransmit expired packets and resume paced connections. Scanning
+        // `conns` by index (creation order) keeps the retransmission order
+        // identical across runs and avoids collecting keys into a fresh Vec.
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        for idx in 0..self.conns.len() {
             let now = ctx.now();
-            let expired = {
-                let conn = self.connections.get_mut(&flow).unwrap();
-                conn.take_expired(now, &self.config)
-            };
-            for (msg_id, seq, is_last) in expired {
-                self.transmit_segment(ctx, flow, msg_id, seq, is_last);
+            expired.clear();
+            self.conns[idx].take_expired(now, &self.config, &mut expired);
+            for &(msg_id, seq, is_last) in &expired {
+                self.transmit_segment(ctx, idx, msg_id, seq, is_last);
             }
-            self.pump(ctx, flow);
+            self.pump(ctx, idx);
         }
+        expired.clear();
+        self.expired_scratch = expired;
         self.arm_retx_timer(ctx);
         true
     }
@@ -200,22 +241,22 @@ impl Transport {
 
     /// Congestion window of a connection (packets), if it exists.
     pub fn cwnd(&self, flow: &FlowKey) -> Option<f64> {
-        self.connections.get(flow).map(|c| c.cc.cwnd())
+        self.conn_idx(flow).map(|i| self.conns[i].cc.cwnd())
     }
 
     /// Per-connection counters.
     pub fn connection_stats(&self, flow: &FlowKey) -> Option<ConnectionStats> {
-        self.connections.get(flow).map(|c| c.stats())
+        self.conn_idx(flow).map(|i| self.conns[i].stats())
     }
 
     /// Number of messages waiting (not yet fully sent) across connections.
     pub fn queued_messages(&self) -> usize {
-        self.connections.values().map(|c| c.pending_messages()).sum()
+        self.conns.iter().map(|c| c.pending_messages()).sum()
     }
 
     /// Sum of unacknowledged packets across connections.
     pub fn unacked_packets(&self) -> usize {
-        self.connections.values().map(|c| c.inflight()).sum()
+        self.conns.iter().map(|c| c.inflight()).sum()
     }
 
     fn alloc_packet_id(&mut self) -> u64 {
@@ -224,23 +265,18 @@ impl Transport {
         id
     }
 
-    /// Send as many segments as window and pacing allow on `flow`.
-    fn pump(&mut self, ctx: &mut HostCtx, flow: FlowKey) {
+    /// Send as many segments as window and pacing allow on connection `idx`.
+    fn pump(&mut self, ctx: &mut HostCtx, idx: usize) {
         loop {
             let now = ctx.now();
-            let decision = {
-                let Some(conn) = self.connections.get_mut(&flow) else {
-                    return;
-                };
-                conn.next_transmission(now, &self.config)
-            };
+            let decision = self.conns[idx].next_transmission(now, &self.config);
             match decision {
                 connection::Transmit::Segment {
                     msg_id,
                     seq,
                     is_last,
                 } => {
-                    self.transmit_segment(ctx, flow, msg_id, seq, is_last);
+                    self.transmit_segment(ctx, idx, msg_id, seq, is_last);
                 }
                 connection::Transmit::PacedUntil(at) => {
                     // Wake up when pacing allows the next packet; keep at
@@ -259,14 +295,15 @@ impl Transport {
     fn transmit_segment(
         &mut self,
         ctx: &mut HostCtx,
-        flow: FlowKey,
+        idx: usize,
         msg_id: u64,
         seq: u32,
         is_last: bool,
     ) {
         let now = ctx.now();
         let id = self.alloc_packet_id();
-        let conn = self.connections.get_mut(&flow).expect("connection exists");
+        let conn = &mut self.conns[idx];
+        let flow = conn.flow;
         let payload = conn.segment_bytes(msg_id, seq, self.config.mtu_bytes);
         conn.mark_sent(msg_id, seq, now, &self.config);
         ctx.send(Packet {
@@ -287,7 +324,7 @@ impl Transport {
         if self.retx_timer_armed {
             return;
         }
-        if self.connections.values().any(|c| c.inflight() > 0 || c.pending_messages() > 0) {
+        if self.conns.iter().any(|c| c.inflight() > 0 || c.pending_messages() > 0) {
             self.retx_timer_armed = true;
             ctx.set_timer(
                 ctx.now() + self.config.retx_scan_interval,

@@ -12,10 +12,9 @@
 //! line rate and mean RPC size into a stream of issue instants.
 
 use aequitas_sim_core::{BitRate, SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A description of when RPCs are issued by one sender.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum ArrivalProcess {
     /// Poisson arrivals sized for a constant average `load` (fraction of the
     /// line rate; may exceed 1.0 to model overload).

@@ -1,10 +1,9 @@
 //! Traffic patterns: which hosts talk to which.
 
 use aequitas_sim_core::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A communication pattern over `n` hosts (identified by index).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum TrafficPattern {
     /// Every sender targets one fixed destination (the 3-node
     /// microbenchmarks: clients 0..n-1 all send to `dst`).

@@ -1,9 +1,8 @@
 //! RPC priority classes and their mapping to network QoS levels.
 
-use serde::{Deserialize, Serialize};
 
 /// Application-level RPC priority class (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Priority {
     /// Performance-critical: tail-latency SLOs (user-facing, control traffic).
     PerformanceCritical,
@@ -35,7 +34,7 @@ impl Priority {
 /// highest-weight queue. Values are small (the paper notes switches support
 /// ~10 WFQs per port).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct QosClass(pub u8);
 
@@ -76,7 +75,7 @@ impl QosClass {
 ///
 /// A `QosMapping` also knows the total number of QoS levels and which level
 /// is the scavenger (lowest), where downgraded traffic lands.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QosMapping {
     levels: usize,
 }

@@ -9,10 +9,9 @@
 
 use crate::priority::Priority;
 use aequitas_sim_core::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A distribution over RPC payload sizes in bytes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum SizeDist {
     /// Every RPC has exactly this many bytes (e.g. the 32 KB WRITEs of §6.2).
     Fixed(u64),

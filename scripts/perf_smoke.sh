@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf smoke: build release, run the tier-1 suite, run the hot-path
+# microbenches, and append a machine-readable snapshot to
+# results/bench_hot_paths.json.
+#
+# Usage: scripts/perf_smoke.sh
+# Env:   AEQUITAS_THREADS  sweep worker count for the parallel-sweep timing
+#                          (default: all cores).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tier-1 tests =="
+# The fig11 1-vs-N-threads / heap-vs-calendar invariance test re-runs the
+# fig11 sweep three times (~15 min on one core); CI runs it, the smoke
+# script skips it to stay smoke-sized.
+cargo test -q --offline -- --skip fig11_is_invariant_under_threads_and_queue_backend
+
+echo "== hot-path microbenches =="
+BENCH_OUT=$(cargo bench --offline -p aequitas-bench --bench micro -- \
+    event_queue engine_run 2>&1 | tee /dev/stderr | grep '^bench ')
+
+# Parse "bench <name>  median <x> ns/iter  (min <a>, max <b>, <r><unit> iters/s)".
+median_ns() {
+    echo "$BENCH_OUT" | grep -F "bench $1 " | sed -n 's/.*median \([0-9.]*\) ns\/iter.*/\1/p' | head -1
+}
+HEAP_NS=$(median_ns "event_queue_hold64/heap")
+CAL_NS=$(median_ns "event_queue_hold64/calendar")
+SLICE_NS=$(median_ns "engine_run/rpc_8host_100us_slice")
+
+echo "== parallel sweep wall-clock (fig14 sweep, serial vs AEQUITAS_THREADS) =="
+SWEEP_BIN=target/release/aequitas-sim
+T0=$(date +%s.%N)
+AEQUITAS_THREADS=1 "$SWEEP_BIN" run fig14 >/dev/null
+T1=$(date +%s.%N)
+"$SWEEP_BIN" run fig14 >/dev/null
+T2=$(date +%s.%N)
+SERIAL_S=$(echo "$T1 $T0" | awk '{printf "%.3f", $1 - $2}')
+PAR_S=$(echo "$T2 $T1" | awk '{printf "%.3f", $1 - $2}')
+
+NPROC=$(nproc)
+THREADS=${AEQUITAS_THREADS:-$NPROC}
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+mkdir -p results
+SNAP=$(cat <<EOF
+{
+  "timestamp": "$STAMP",
+  "nproc": $NPROC,
+  "sweep_threads": $THREADS,
+  "event_queue_hold64_heap_ns_per_op": ${HEAP_NS:-null},
+  "event_queue_hold64_calendar_ns_per_op": ${CAL_NS:-null},
+  "engine_rpc_8host_100us_slice_ns": ${SLICE_NS:-null},
+  "fig14_sweep_serial_s": $SERIAL_S,
+  "fig14_sweep_parallel_s": $PAR_S
+}
+EOF
+)
+OUT=results/bench_hot_paths.json
+if [ -s "$OUT" ]; then
+    # Append to the existing JSON array.
+    tmp=$(mktemp)
+    sed '$ s/]$//' "$OUT" > "$tmp"
+    printf ',\n%s\n]\n' "$SNAP" >> "$tmp"
+    mv "$tmp" "$OUT"
+else
+    printf '[\n%s\n]\n' "$SNAP" > "$OUT"
+fi
+echo "appended snapshot to $OUT"

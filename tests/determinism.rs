@@ -1,0 +1,40 @@
+//! Determinism under the performance knobs.
+//!
+//! The parallel sweep harness and the calendar event queue are pure
+//! optimizations: neither the sweep worker count (`AEQUITAS_THREADS`) nor
+//! the event-queue backend may change a single figure value. This runs the
+//! Fig. 11 sweep — a real multi-point experiment through the full stack —
+//! under each knob and requires bit-identical results.
+
+use aequitas_experiments::slo::{fig11_configured, Fig11Result};
+use aequitas_experiments::Scale;
+use aequitas_netsim::QueueKind;
+
+fn fingerprint(r: &Fig11Result) -> Vec<(u64, u64, u64)> {
+    r.points
+        .iter()
+        .map(|p| {
+            (
+                p.slo_us.to_bits(),
+                p.p999_us.unwrap_or(f64::NAN).to_bits(),
+                p.qosh_share.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fig11_is_invariant_under_threads_and_queue_backend() {
+    let scale = Scale::quick();
+    let baseline = fingerprint(&fig11_configured(scale, 1, QueueKind::Calendar));
+    let threaded = fingerprint(&fig11_configured(scale, 4, QueueKind::Calendar));
+    assert_eq!(
+        baseline, threaded,
+        "sweep results must not depend on the worker count"
+    );
+    let heap = fingerprint(&fig11_configured(scale, 4, QueueKind::Heap));
+    assert_eq!(
+        baseline, heap,
+        "calendar and heap event queues must order events identically"
+    );
+}

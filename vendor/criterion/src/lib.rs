@@ -1,0 +1,211 @@
+//! Minimal benchmark harness with a criterion-compatible surface.
+//!
+//! The workspace builds fully offline, so instead of the real `criterion`
+//! crate this in-tree implementation provides the subset the benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark warms up briefly, then takes `sample_size` timed samples
+//! and reports min/median/max ns per iteration on stdout, one summary line
+//! per benchmark:
+//!
+//! ```text
+//! bench qdisc/wfq_enqueue_dequeue_3class  median 85.2 ns/iter  (min 84.0, max 88.1, 11.7M iters/s)
+//! ```
+//!
+//! The single-line format is stable so scripts (`scripts/perf_smoke.sh`)
+//! can parse it.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` (and any user filter) to the
+        // harness; treat the first non-flag argument as a substring filter,
+        // like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(30),
+            sample_target: Duration::from_millis(5),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, None, id, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group = self.name.clone();
+        run_bench(self.criterion, Some(&group), id, f);
+        self
+    }
+
+    /// Finish the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick a batch size that makes one sample take
+    /// roughly `sample_target`, then record `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns =
+            (start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+        let batch = ((self.sample_target.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, group: Option<&str>, id: &str, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_size: c.sample_size,
+        warmup: c.warmup,
+        sample_target: c.sample_target,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("bench {full}  (no samples: closure never called Bencher::iter)");
+        return;
+    }
+    b.samples_ns.sort_by(f64::total_cmp);
+    let min = b.samples_ns[0];
+    let max = *b.samples_ns.last().unwrap();
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let rate = 1e9 / median;
+    let (rate, unit) = if rate >= 1e6 {
+        (rate / 1e6, "M")
+    } else if rate >= 1e3 {
+        (rate / 1e3, "k")
+    } else {
+        (rate, "")
+    };
+    println!(
+        "bench {full}  median {median:.1} ns/iter  (min {min:.1}, max {max:.1}, {rate:.1}{unit} iters/s)"
+    );
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(x)
+            });
+        });
+    }
+
+    criterion_group!(
+        name = smoke;
+        config = Criterion::default().sample_size(3);
+        targets = spin
+    );
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}
