@@ -231,7 +231,8 @@ impl DeadlineHost {
         let remaining = msg.remaining_bytes();
         let deadline_ps = msg.deadline.map(|d| d.as_ps()).unwrap_or(u64::MAX);
         let dst = msg.dst;
-        let pkt = self.ctrl(dst, CTRL_RATE_REQ, msg_id, remaining << 1 | 0, now);
+        // Low bit 0 = "request" (1 would mark a termination notice).
+        let pkt = self.ctrl(dst, CTRL_RATE_REQ, msg_id, remaining << 1, now);
         // Piggyback the deadline in a second ctrl word via the packet's
         // `rank` field (unused by FIFO fabrics).
         let mut pkt = pkt;
@@ -343,21 +344,20 @@ impl DeadlineHost {
             if terminate {
                 let msg = self.msgs.remove(&id).expect("msg exists");
                 let pace = self.pace.remove(&id);
-                #[cfg(test)]
-                eprintln!(
-                    "TERM host={} id={:x} age_us={:.1} remaining={} next_seg={}/{} acked={} inflight={} rate_bps={}",
-                    self.host.0,
-                    id,
-                    now.saturating_since(msg.issued_at).as_secs_f64() * 1e6,
-                    msg.remaining_bytes(),
-                    msg.next_seg,
-                    msg.total_segs,
-                    msg.acked,
-                    msg.inflight(),
-                    pace.map(|p| p.rate_bps).unwrap_or(0),
-                );
-                #[cfg(not(test))]
-                let _ = pace;
+                aequitas_telemetry::note("baselines.deadline", || {
+                    format!(
+                        "TERM host={} id={:x} age_us={:.1} remaining={} next_seg={}/{} acked={} inflight={} rate_bps={}",
+                        self.host.0,
+                        id,
+                        now.saturating_since(msg.issued_at).as_secs_f64() * 1e6,
+                        msg.remaining_bytes(),
+                        msg.next_seg,
+                        msg.total_segs,
+                        msg.acked,
+                        msg.inflight(),
+                        pace.map(|p| p.rate_bps).unwrap_or(0),
+                    )
+                });
                 self.completions.push(msg.completion(now, true));
                 let pkt = self.ctrl(dst, CTRL_FLOW_END, id, 0, now);
                 ctx.send(pkt);
@@ -376,10 +376,7 @@ impl DeadlineHost {
             // (`next_allowed`) advances by the granted-rate serialization
             // time per packet, and a precise wakeup is armed for the next
             // release so the pipeline stays full.
-            loop {
-                let Some(p) = self.pace.get(&id).copied() else {
-                    break;
-                };
+            while let Some(p) = self.pace.get(&id).copied() {
                 let msg = self.msgs.get(&id).expect("msg exists");
                 if msg.fully_sent() || msg.inflight() >= self.max_inflight {
                     break;
@@ -496,8 +493,8 @@ impl HostAgent for DeadlineHost {
                     self.pump(ctx);
                 }
                 CTRL_FLOW_END => {
-                    if self.inflows.remove(&(pkt.src().0, a)).is_some() && !self.inflows.is_empty()
-                    {
+                    let freed = self.inflows.remove(&(pkt.src().0, a)).is_some();
+                    if freed && !self.inflows.is_empty() {
                         // A slot just freed: resume the next flow at once.
                         self.allocate_and_grant(ctx, pkt.src().0, a, true);
                     }

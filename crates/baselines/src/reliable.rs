@@ -44,6 +44,7 @@ pub struct OutMsg {
 
 impl OutMsg {
     /// Create a message of `size_bytes` segmented at `mtu`.
+    #[allow(clippy::too_many_arguments)] // plain data-carrier constructor
     pub fn new(
         msg_id: u64,
         dst: HostId,

@@ -34,6 +34,7 @@ pub struct WorkloadGen {
 
 impl WorkloadGen {
     /// Build a generator. `classes` carries `(priority, byte_share, sizes)`.
+    #[allow(clippy::too_many_arguments)] // plain config-carrier constructor
     pub fn new(
         arrival: ArrivalProcess,
         pattern: TrafficPattern,

@@ -16,7 +16,7 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             s.enqueue((i % 3) as usize, 4160, i).ok();
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 black_box(s.dequeue());
             }
         });
@@ -28,7 +28,7 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             s.enqueue((i % 3) as usize, 4160, i).ok();
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 black_box(s.dequeue());
             }
         });
@@ -40,7 +40,7 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             s.enqueue((i % 8) as usize, 4160, i).ok();
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 black_box(s.dequeue());
             }
         });
@@ -56,7 +56,7 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             t += 100;
             q.schedule(SimTime::from_ps(q.now().as_ps() + t % 10_000 + 1), t);
-            if t % 2 == 0 {
+            if t.is_multiple_of(2) {
                 black_box(q.pop());
             }
         });
@@ -91,23 +91,42 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_engine_events(c: &mut Criterion) {
     // End-to-end events/sec: a 8-host star under the standard 3-QoS RPC
     // workload, advanced in 100 us slices per iteration. This is the number
-    // the README's "Performance" section quotes.
+    // the README's "Performance" section quotes. The default run leaves
+    // telemetry disabled — it doubles as the guard that the permanent
+    // instrumentation costs nothing when off; the "_traced" variant puts a
+    // price on full tracing into a null sink.
     let mut g = c.benchmark_group("engine_run");
-    g.bench_function("rpc_8host_100us_slice", |b| {
+    let build = |telemetry: aequitas_telemetry::Telemetry| {
         let mut setup = aequitas_experiments::MacroSetup::star_3qos(8);
         setup.duration = SimDuration::from_ms(1); // harness warmup run only
         setup.warmup = SimDuration::ZERO;
         setup.seed = 7;
+        setup.telemetry = telemetry;
         for h in 0..8 {
             setup.workloads[h] = Some(aequitas_experiments::slo::node33_workload(
                 [0.6, 0.3, 0.1],
                 None,
             ));
         }
-        let mut eng = aequitas_experiments::harness::build_engine(setup);
+        aequitas_experiments::harness::build_engine(setup)
+    };
+    g.bench_function("rpc_8host_100us_slice", |b| {
+        let mut eng = build(aequitas_telemetry::Telemetry::disabled());
         let mut end = SimTime::ZERO;
         b.iter(|| {
-            end = end + SimDuration::from_us(100);
+            end += SimDuration::from_us(100);
+            eng.run_until(end);
+            black_box(eng.now());
+        });
+    });
+    g.bench_function("rpc_8host_100us_slice_traced", |b| {
+        let mut eng = build(aequitas_telemetry::Telemetry::with_sink(
+            aequitas_telemetry::NullSink,
+            aequitas_telemetry::TelemetryConfig::default(),
+        ));
+        let mut end = SimTime::ZERO;
+        b.iter(|| {
+            end += SimDuration::from_us(100);
             eng.run_until(end);
             black_box(eng.now());
         });
@@ -132,7 +151,7 @@ fn bench_admission(c: &mut Criterion) {
                 (t % 32) as usize,
                 d.qos_run,
                 8,
-                SimDuration::from_us((t % 30) as u64),
+                SimDuration::from_us(t % 30),
             );
             black_box(d);
         });

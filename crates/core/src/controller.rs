@@ -7,6 +7,7 @@
 //! level is the scavenger that receives downgraded traffic and has no SLO.
 
 use aequitas_sim_core::{SimDuration, SimRng, SimTime};
+use aequitas_telemetry::{Telemetry, TraceEvent};
 use std::collections::HashMap;
 
 /// An RNL SLO for one QoS level.
@@ -149,6 +150,9 @@ pub struct AdmissionController {
     /// Counters for observability.
     issued: u64,
     downgraded: u64,
+    telemetry: Telemetry,
+    /// The host owning this controller, for labeling AdmitProb events.
+    src_host: usize,
 }
 
 impl AdmissionController {
@@ -162,7 +166,17 @@ impl AdmissionController {
             state: HashMap::new(),
             issued: 0,
             downgraded: 0,
+            telemetry: Telemetry::disabled(),
+            src_host: 0,
         }
+    }
+
+    /// Attach a telemetry handle; every AIMD step emits an `admit_prob`
+    /// event labeled with `src_host` (the host owning this controller).
+    /// Telemetry never alters admission decisions.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry, src_host: usize) {
+        self.telemetry = telemetry;
+        self.src_host = src_host;
     }
 
     /// The controller's configuration.
@@ -230,20 +244,36 @@ impl AdmissionController {
             .config
             .increment_window_override
             .unwrap_or_else(|| slo.increment_window());
-        let st = self.channel_state(now, dst, qos_run);
-        // Line 15: rpc_latency / size < latency_target  (per-MTU comparison,
-        // kept in integer ps via cross-multiplication).
-        let within = rnl.as_ps() < slo.latency_target_per_mtu.as_ps().saturating_mul(size);
-        if within {
-            // Additive increase, at most once per increment window.
-            if now.saturating_since(st.t_last_increase) > window {
-                st.p_admit = (st.p_admit + alpha).min(1.0);
-                st.t_last_increase = now;
+        let (p_before, p_after) = {
+            let st = self.channel_state(now, dst, qos_run);
+            let p_before = st.p_admit;
+            // Line 15: rpc_latency / size < latency_target  (per-MTU
+            // comparison, kept in integer ps via cross-multiplication).
+            let within = rnl.as_ps() < slo.latency_target_per_mtu.as_ps().saturating_mul(size);
+            if within {
+                // Additive increase, at most once per increment window.
+                if now.saturating_since(st.t_last_increase) > window {
+                    st.p_admit = (st.p_admit + alpha).min(1.0);
+                    st.t_last_increase = now;
+                }
+            } else {
+                // Multiplicative decrease, proportional to RPC size (unless
+                // the size-scaling ablation is active).
+                st.p_admit = (st.p_admit - beta * md_scale).max(floor);
             }
-        } else {
-            // Multiplicative decrease, proportional to RPC size (unless the
-            // size-scaling ablation is active).
-            st.p_admit = (st.p_admit - beta * md_scale).max(floor);
+            (p_before, st.p_admit)
+        };
+        if self.telemetry.is_enabled() && p_after != p_before {
+            self.telemetry.emit(
+                now,
+                TraceEvent::AdmitProb {
+                    host: self.src_host,
+                    dst,
+                    qos: qos_run,
+                    p: p_after,
+                    delta: p_after - p_before,
+                },
+            );
         }
     }
 
@@ -439,7 +469,7 @@ mod tests {
             let floor = c.config().floor;
             let mut t = SimTime::ZERO;
             for (dst, qos, size, dt, miss) in events {
-                t = t + SimDuration::from_ns(dt);
+                t += SimDuration::from_ns(dt);
                 let rnl = if miss { us(10_000.0) } else { SimDuration::from_ns(1) };
                 c.on_completion(t, dst, qos, size, rnl);
                 c.on_issue(t, dst, qos, size);
@@ -458,7 +488,7 @@ mod tests {
             let mut c = AdmissionController::new(cfg(), 12);
             let mut t = SimTime::ZERO;
             for _ in 0..knocks {
-                t = t + SimDuration::from_us(1);
+                t += SimDuration::from_us(1);
                 c.on_completion(t, 0, 0, 8, us(1_000.0));
             }
             let window = c.config().slos[0].unwrap().increment_window();

@@ -10,10 +10,19 @@
 //! aequitas-sim run fig12
 //! aequitas-sim run fig22 --full
 //! aequitas-sim run all
+//! aequitas-sim run fig11 --trace out.jsonl --metrics out-metrics.csv
 //! ```
+//!
+//! `--trace PATH` streams structured JSONL events (packet, RPC, transport,
+//! and admission-controller lifecycle) for the run; `--metrics PATH` writes
+//! the sampled metric time-series as CSV. `--sample-us N` sets the
+//! simulated-time sampling cadence (default 10us). See the "Observability"
+//! section of DESIGN.md for the event taxonomy.
 
 use aequitas_experiments::harness::Scale;
 use aequitas_experiments::*;
+use aequitas_sim_core::SimDuration;
+use aequitas_telemetry::{Telemetry, TelemetryConfig};
 
 struct Entry {
     name: &'static str,
@@ -130,6 +139,11 @@ fn entries() -> Vec<Entry> {
             },
         },
         Entry {
+            name: "trace-demo",
+            about: "tiny full-stack Aequitas run for telemetry smoke/demo",
+            run: |s| demo::print_trace_demo(&demo::trace_demo(s)),
+        },
+        Entry {
             name: "guarantee",
             about: "Sec 5.2 guaranteed-share table",
             run: |_| theory::print_guaranteed(&theory::guaranteed_table()),
@@ -158,17 +172,103 @@ fn entries() -> Vec<Entry> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aequitas-sim <list | run <name|all>> [--full]");
+    eprintln!(
+        "usage: aequitas-sim <list | run <name|all>> [--full] \
+         [--trace PATH] [--metrics PATH] [--sample-us N]"
+    );
     eprintln!("       aequitas-sim run fig12");
+    eprintln!("       aequitas-sim run fig11 --trace out.jsonl --metrics out-metrics.csv");
     eprintln!("       AEQUITAS_FULL=1 aequitas-sim run all");
     std::process::exit(2);
 }
 
+/// Telemetry-related CLI options.
+#[derive(Default)]
+struct TelemetryOpts {
+    trace: Option<String>,
+    metrics: Option<String>,
+    sample_us: Option<u64>,
+}
+
+impl TelemetryOpts {
+    fn wanted(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Build and install the process-global handle; returns it for the
+    /// post-run flush/export.
+    fn install(&self) -> Option<Telemetry> {
+        if !self.wanted() {
+            return None;
+        }
+        let mut config = TelemetryConfig::default();
+        if let Some(us) = self.sample_us {
+            config.sample_every = SimDuration::from_us(us);
+        }
+        let tel = match &self.trace {
+            Some(path) => match Telemetry::to_file(path, config) {
+                Ok(tel) => tel,
+                Err(e) => {
+                    eprintln!("cannot open trace file {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            // Metrics-only run: sample on cadence, discard trace lines.
+            None => Telemetry::with_sink(aequitas_telemetry::NullSink, config),
+        };
+        aequitas_telemetry::install_global(tel.clone());
+        Some(tel)
+    }
+
+    fn finish(&self, tel: &Telemetry) {
+        tel.flush();
+        if let Some(path) = &self.trace {
+            println!("[trace written to {path}]");
+        }
+        if let Some(path) = &self.metrics {
+            match tel.write_metrics_csv_path(path) {
+                Ok(()) => println!("[metrics written to {path}]"),
+                Err(e) => eprintln!("cannot write metrics file {path}: {e}"),
+            }
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut tel_opts = TelemetryOpts::default();
+    let mut args: Vec<&str> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("{flag} requires a value");
+                    usage();
+                }
+            }
+        };
+        match a.as_str() {
+            "--full" => full = true,
+            "--trace" => tel_opts.trace = Some(value_of("--trace")),
+            "--metrics" => tel_opts.metrics = Some(value_of("--metrics")),
+            "--sample-us" => {
+                let v = value_of("--sample-us");
+                match v.parse::<u64>() {
+                    Ok(us) if us > 0 => tel_opts.sample_us = Some(us),
+                    _ => {
+                        eprintln!("--sample-us needs a positive integer, got '{v}'");
+                        usage();
+                    }
+                }
+            }
+            other => args.push(other),
+        }
+    }
     let scale = if full { Scale::full() } else { Scale::detect() };
-    let args: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--full").collect();
+    let tel = tel_opts.install();
     let table = entries();
     match args.as_slice() {
         ["list"] => {
@@ -192,5 +292,8 @@ fn main() {
             }
         },
         _ => usage(),
+    }
+    if let Some(tel) = &tel {
+        tel_opts.finish(tel);
     }
 }

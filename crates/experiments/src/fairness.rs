@@ -54,19 +54,19 @@ pub fn run_fairness(scale: Scale, offered: [f64; 2], beta: f64, seed: u64) -> Fa
     setup.duration = scale.pick(SimDuration::from_ms(260), SimDuration::from_ms(1500));
     setup.warmup = scale.pick(SimDuration::from_ms(160), SimDuration::from_ms(900));
     setup.seed = seed;
-    for ch in 0..2 {
+    for (ch, &share) in offered.iter().enumerate() {
         setup.workloads[ch] = Some(WorkloadSpec {
             arrival: ArrivalProcess::Uniform { load: 1.0 },
             pattern: TrafficPattern::ManyToOne { dst: 2 },
             classes: vec![
                 PrioritySpec {
                     priority: Priority::PerformanceCritical,
-                    byte_share: offered[ch],
+                    byte_share: share,
                     sizes: SizeDist::Fixed(32_768),
                 },
                 PrioritySpec {
                     priority: Priority::BestEffort,
-                    byte_share: 1.0 - offered[ch],
+                    byte_share: 1.0 - share,
                     sizes: SizeDist::Fixed(32_768),
                 },
             ],

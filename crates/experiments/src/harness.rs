@@ -5,6 +5,7 @@ use aequitas::AequitasConfig;
 use aequitas_netsim::{Engine, EngineConfig, HostId, LinkSpec, Topology};
 use aequitas_rpc::{Policy, RpcCompletion, RpcStack, WorkloadHost, WorkloadSpec};
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
+use aequitas_telemetry::Telemetry;
 use aequitas_transport::TransportConfig;
 use aequitas_workloads::QosMapping;
 
@@ -27,7 +28,7 @@ impl Scale {
     /// From the `AEQUITAS_FULL` environment variable.
     pub fn detect() -> Self {
         Scale {
-            full: std::env::var("AEQUITAS_FULL").map_or(false, |v| v != "0"),
+            full: std::env::var("AEQUITAS_FULL").is_ok_and(|v| v != "0"),
         }
     }
     /// Pick between a quick and a full value.
@@ -76,6 +77,11 @@ pub struct MacroSetup {
     /// Per-host policy overrides (taken at build; wins over `policy`).
     /// Leave empty for a uniform policy.
     pub policy_overrides: Vec<Option<Policy>>,
+    /// Telemetry handle wired through the engine, every stack, transport,
+    /// and controller. A disabled handle (the default) falls back to the
+    /// process-global handle installed by the CLI's `--trace`/`--metrics`
+    /// flags (see [`aequitas_telemetry::install_global`]).
+    pub telemetry: Telemetry,
 }
 
 impl MacroSetup {
@@ -92,6 +98,7 @@ impl MacroSetup {
             warmup: SimDuration::from_ms(2),
             seed: 2022,
             policy_overrides: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -104,6 +111,11 @@ impl MacroSetup {
         let n = self.topo.num_hosts();
         assert_eq!(self.workloads.len(), n);
         let line_rate = self.line_rate();
+        let telemetry = if self.telemetry.is_enabled() {
+            self.telemetry.clone()
+        } else {
+            aequitas_telemetry::global()
+        };
         let mut overrides = self.policy_overrides;
         overrides.resize_with(n, || None);
         let agents: Vec<WorkloadHost> = self
@@ -126,16 +138,22 @@ impl MacroSetup {
                         ),
                     },
                 };
-                let stack = RpcStack::new(
+                let mut stack = RpcStack::new(
                     HostId(h),
                     self.mapping.clone(),
                     policy,
                     self.transport.clone(),
                 );
+                if telemetry.is_enabled() {
+                    stack.set_telemetry(telemetry.clone());
+                }
                 WorkloadHost::new(stack, spec, n, line_rate, self.seed ^ (h as u64) << 8)
             })
             .collect();
-        let engine = Engine::new(self.topo, agents, self.engine);
+        let mut engine = Engine::new(self.topo, agents, self.engine);
+        if telemetry.is_enabled() {
+            engine.set_telemetry(telemetry);
+        }
         (engine, self.duration, self.warmup)
     }
 }
@@ -163,6 +181,16 @@ pub struct MacroResult {
 /// Run a macro experiment without sampling.
 pub fn run_macro(setup: MacroSetup) -> MacroResult {
     run_macro_sampled(setup, SimDuration::MAX, |_, _| {})
+}
+
+/// One telemetry sampling tick: refresh engine and per-stack gauges, then
+/// snapshot the registry at `now`.
+fn sample_telemetry(engine: &Engine<WorkloadHost>, tel: &Telemetry, now: SimTime) {
+    engine.sample_metrics();
+    for host in engine.agents() {
+        host.stack().sample_metrics();
+    }
+    tel.sample(now);
 }
 
 /// Run a macro experiment, invoking `sample(&engine, now)` every
@@ -197,14 +225,35 @@ where
     } else {
         SimTime::ZERO + sample_every
     };
+    // Telemetry metrics sampling runs on its own simulated-time cadence,
+    // interleaved with the caller's sampling breakpoints.
+    let tel = engine.telemetry().clone();
+    let tel_every = tel.sample_every().unwrap_or(SimDuration::MAX);
+    let mut next_tel = if tel_every == SimDuration::MAX {
+        SimTime::MAX
+    } else {
+        SimTime::ZERO + tel_every
+    };
     loop {
-        let until = end.min(next_sample);
+        let until = end.min(next_sample).min(next_tel);
         engine.run_until(until);
         if until >= end {
             break;
         }
-        sample(&mut engine, until);
-        next_sample = next_sample + sample_every;
+        if until >= next_tel {
+            sample_telemetry(&engine, &tel, until);
+            next_tel += tel_every;
+        }
+        if until >= next_sample {
+            sample(&mut engine, until);
+            next_sample += sample_every;
+        }
+    }
+    if tel.is_enabled() {
+        // Final snapshot at the end of the run, then push buffered trace
+        // lines to the backing store.
+        sample_telemetry(&engine, &tel, end);
+        tel.flush();
     }
 
     let warmup_t = SimTime::ZERO + warmup;

@@ -20,6 +20,7 @@
 //! | [`related`] | Fig. 22 (pFabric/QJump/D3/PDQ/Homa comparison) |
 //! | [`production`] | Figs. 3, 4, 5, 24 (overload episode, fleet alignment) |
 
+pub mod demo;
 pub mod ext;
 pub mod fairness;
 pub mod harness;

@@ -60,7 +60,10 @@ fn maybe_write_csv(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     match write() {
         Ok(()) => println!("[csv written to {}]", path.display()),
-        Err(e) => eprintln!("[csv export failed for {}: {e}]", path.display()),
+        Err(e) => aequitas_telemetry::warn(
+            "experiments.report",
+            format!("csv export failed for {}: {e}", path.display()),
+        ),
     }
 }
 

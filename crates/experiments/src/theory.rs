@@ -350,8 +350,8 @@ pub fn fig10(scale: Scale) -> Fig10Result {
     }
     let mut max_err = [0.0f64; 2];
     for p in &points {
-        for k in 0..2 {
-            max_err[k] = max_err[k].max((p.sim[k] - p.theory[k]).abs());
+        for (k, err) in max_err.iter_mut().enumerate() {
+            *err = err.max((p.sim[k] - p.theory[k]).abs());
         }
     }
     Fig10Result { points, max_err }

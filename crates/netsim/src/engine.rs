@@ -4,6 +4,14 @@ use crate::packet::Packet;
 use crate::port::{Port, PortStats, SchedulerKind};
 use crate::topology::{HostId, NodeRef, SwitchId, Topology};
 use aequitas_sim_core::{EventQueue, QueueKind, SimRng, SimTime};
+use aequitas_telemetry::{labels, NodeKind, Telemetry, TraceEvent};
+
+fn node_tag(node: NodeRef) -> (NodeKind, usize) {
+    match node {
+        NodeRef::Host(h) => (NodeKind::Host, h.0),
+        NodeRef::Switch(s) => (NodeKind::Switch, s.0),
+    }
+}
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -148,6 +156,7 @@ pub struct Engine<A: HostAgent> {
     events_processed: u64,
     loss_rng: SimRng,
     injected_losses: u64,
+    telemetry: Telemetry,
 }
 
 impl<A: HostAgent> Engine<A> {
@@ -198,7 +207,21 @@ impl<A: HostAgent> Engine<A> {
             events_processed: 0,
             loss_rng,
             injected_losses: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; packet lifecycle events (enqueue, dequeue,
+    /// drop) are emitted through it and [`Engine::sample_metrics`] refreshes
+    /// engine gauges into its registry. Telemetry never alters simulation
+    /// behaviour (see `tests/determinism.rs`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current simulated time.
@@ -276,9 +299,40 @@ impl<A: HostAgent> Engine<A> {
 
     /// Hand `pkt` to `host`'s NIC: enqueue and kick the transmitter.
     fn host_transmit(&mut self, host: HostId, pkt: Packet) {
+        let class = pkt.class().min(self.config.classes - 1);
+        let bytes = pkt.size_bytes;
         let nic = &mut self.hosts[host.0].nic;
         if nic.enqueue(pkt) {
+            if self.telemetry.is_enabled() {
+                let depth_pkts = nic.class_backlog_packets(class);
+                let backlog_bytes = nic.backlog_bytes();
+                self.telemetry.emit(
+                    self.queue.now(),
+                    TraceEvent::PktEnqueue {
+                        node: NodeKind::Host,
+                        node_id: host.0,
+                        port: 0,
+                        class,
+                        bytes,
+                        depth_pkts,
+                        backlog_bytes,
+                    },
+                );
+            }
             self.kick_port(NodeRef::Host(host));
+        } else if self.telemetry.is_enabled() {
+            let backlog_bytes = self.hosts[host.0].nic.backlog_bytes();
+            self.telemetry.emit(
+                self.queue.now(),
+                TraceEvent::PktDrop {
+                    node: NodeKind::Host,
+                    node_id: host.0,
+                    port: 0,
+                    class,
+                    bytes,
+                    backlog_bytes,
+                },
+            );
         }
     }
 
@@ -307,8 +361,26 @@ impl<A: HostAgent> Engine<A> {
         }
         if let Some(pkt) = port_state.dequeue() {
             let ser = link.rate.serialize_time(pkt.size_bytes as u64);
+            let tel_info = self
+                .telemetry
+                .is_enabled()
+                .then(|| (pkt.class(), pkt.size_bytes, port_state.backlog_bytes()));
             port_state.in_flight = Some(pkt);
             self.queue.schedule(now + ser, Event::TxDone { node, port });
+            if let Some((class, bytes, backlog_bytes)) = tel_info {
+                let (kind, node_id) = node_tag(node);
+                self.telemetry.emit(
+                    now,
+                    TraceEvent::PktDequeue {
+                        node: kind,
+                        node_id,
+                        port,
+                        class: class.min(self.config.classes - 1),
+                        bytes,
+                        backlog_bytes,
+                    },
+                );
+            }
         }
     }
 
@@ -334,8 +406,40 @@ impl<A: HostAgent> Engine<A> {
                         return; // fault injection: packet vanishes
                     }
                     let port = self.topo.route(s, pkt.dst(), pkt.flow.ecmp_hash());
-                    if self.switches[s.0].ports[port].enqueue(pkt) {
+                    let class = pkt.class().min(self.config.classes - 1);
+                    let bytes = pkt.size_bytes;
+                    let p = &mut self.switches[s.0].ports[port];
+                    if p.enqueue(pkt) {
+                        if self.telemetry.is_enabled() {
+                            let depth_pkts = p.class_backlog_packets(class);
+                            let backlog_bytes = p.backlog_bytes();
+                            self.telemetry.emit(
+                                self.queue.now(),
+                                TraceEvent::PktEnqueue {
+                                    node: NodeKind::Switch,
+                                    node_id: s.0,
+                                    port,
+                                    class,
+                                    bytes,
+                                    depth_pkts,
+                                    backlog_bytes,
+                                },
+                            );
+                        }
                         self.kick_one(node, port);
+                    } else if self.telemetry.is_enabled() {
+                        let backlog_bytes = self.switches[s.0].ports[port].backlog_bytes();
+                        self.telemetry.emit(
+                            self.queue.now(),
+                            TraceEvent::PktDrop {
+                                node: NodeKind::Switch,
+                                node_id: s.0,
+                                port,
+                                class,
+                                bytes,
+                                backlog_bytes,
+                            },
+                        );
                     }
                 }
             },
@@ -395,6 +499,62 @@ impl<A: HostAgent> Engine<A> {
     /// Number of configured QoS classes.
     pub fn classes(&self) -> usize {
         self.config.classes
+    }
+
+    /// Refresh engine-level gauges in the telemetry registry: per-port
+    /// backlog and cumulative tx/drop counters, per-class queue depths, WFQ
+    /// virtual time, and event-loop totals. The harness calls this right
+    /// before each [`Telemetry::sample`] tick; a no-op when disabled.
+    pub fn sample_metrics(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.with_metrics(|m| {
+            m.gauge_set(
+                "engine.events_processed",
+                String::new(),
+                self.events_processed as f64,
+            );
+            m.gauge_set("engine.event_queue_len", String::new(), self.queue.len() as f64);
+            for (si, sw) in self.switches.iter().enumerate() {
+                let si_s = si.to_string();
+                for (pi, p) in sw.ports.iter().enumerate() {
+                    let pi_s = pi.to_string();
+                    let l = labels(&[("sw", &si_s), ("port", &pi_s)]);
+                    m.gauge_set("switch.port.backlog_bytes", l.clone(), p.backlog_bytes() as f64);
+                    m.gauge_set(
+                        "switch.port.tx_bytes",
+                        l.clone(),
+                        p.stats.total_tx_bytes() as f64,
+                    );
+                    m.gauge_set("switch.port.drops", l.clone(), p.stats.total_drops() as f64);
+                    if let Some(v) = p.wfq_virtual_time() {
+                        m.gauge_set("switch.port.wfq_virtual_time", l, v);
+                    }
+                    for class in 0..self.config.classes {
+                        let cl = labels(&[
+                            ("sw", &si_s),
+                            ("port", &pi_s),
+                            ("class", &class.to_string()),
+                        ]);
+                        m.gauge_set(
+                            "switch.port.class_depth_pkts",
+                            cl,
+                            p.class_backlog_packets(class) as f64,
+                        );
+                    }
+                }
+            }
+            for (hi, h) in self.hosts.iter().enumerate() {
+                let l = labels(&[("host", &hi.to_string())]);
+                m.gauge_set("host.nic.backlog_bytes", l.clone(), h.nic.backlog_bytes() as f64);
+                m.gauge_set(
+                    "host.nic.tx_bytes",
+                    l,
+                    h.nic.stats.total_tx_bytes() as f64,
+                );
+            }
+        });
     }
 }
 

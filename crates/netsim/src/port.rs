@@ -36,6 +36,10 @@ pub struct PortStats {
     pub tx_bytes: Vec<u64>,
     /// Packets dropped at enqueue per class.
     pub drops: Vec<u64>,
+    /// High-water mark of queued packets per class.
+    pub max_class_depth_pkts: Vec<u64>,
+    /// High-water mark of total queued bytes at the port.
+    pub max_backlog_bytes: u64,
 }
 
 impl PortStats {
@@ -44,6 +48,8 @@ impl PortStats {
             tx_packets: vec![0; classes],
             tx_bytes: vec![0; classes],
             drops: vec![0; classes],
+            max_class_depth_pkts: vec![0; classes],
+            max_backlog_bytes: 0,
         }
     }
 
@@ -122,7 +128,16 @@ impl Port {
                 PifoPush::Rejected(_) => false,
             },
         };
-        if !ok {
+        if ok {
+            let depth = self.class_backlog_packets(class) as u64;
+            if depth > self.stats.max_class_depth_pkts[class] {
+                self.stats.max_class_depth_pkts[class] = depth;
+            }
+            let backlog = self.backlog_bytes();
+            if backlog > self.stats.max_backlog_bytes {
+                self.stats.max_backlog_bytes = backlog;
+            }
+        } else {
             self.stats.drops[class] += 1;
         }
         ok
@@ -162,6 +177,14 @@ impl Port {
             Sched::Spq(s) => s.backlog_bytes(),
             Sched::Fifo(s) => s.backlog_bytes(),
             Sched::Pifo(q) => q.backlog_bytes(),
+        }
+    }
+
+    /// WFQ system virtual time, when this port runs WFQ.
+    pub(crate) fn wfq_virtual_time(&self) -> Option<f64> {
+        match &self.sched {
+            Sched::Wfq(s) => Some(s.virtual_time()),
+            _ => None,
         }
     }
 

@@ -75,6 +75,22 @@ impl<T> WfqScheduler<T> {
         self.buffer.drops()
     }
 
+    /// Current system virtual time: the finish tag of the packet most
+    /// recently chosen for service (resets to zero when the port drains).
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+
+    /// How far `class`'s last-assigned finish tag leads the system virtual
+    /// time, in virtual-time units. Zero when the class is keeping pace
+    /// with its share; large values mean the class has queued far ahead of
+    /// its service rate.
+    pub fn class_lag(&self, class: usize) -> f64 {
+        self.last_finish
+            .get(class)
+            .map_or(0.0, |f| f - self.virtual_time)
+    }
+
     fn reset_clock(&mut self) {
         self.virtual_time = 0.0;
         self.last_finish.iter_mut().for_each(|f| *f = 0.0);
@@ -214,10 +230,10 @@ mod tests {
         let mut last_b = None;
         while let Some(d) = s.dequeue() {
             if d.item < 100 {
-                assert!(last_a.map_or(true, |p| d.item > p));
+                assert!(last_a.is_none_or(|p| d.item > p));
                 last_a = Some(d.item);
             } else {
-                assert!(last_b.map_or(true, |p| d.item > p));
+                assert!(last_b.is_none_or(|p| d.item > p));
                 last_b = Some(d.item);
             }
         }

@@ -182,7 +182,7 @@ impl WorkloadHost {
         self.next_arrival = None;
         // Issue the RPC due now.
         let spec = self.spec.as_ref().expect("sender has a spec");
-        if spec.stop.map_or(true, |stop| ctx.now() < stop) {
+        if spec.stop.is_none_or(|stop| ctx.now() < stop) {
             let class_idx = self.rng.weighted_index(&self.count_weights);
             let class = &spec.classes[class_idx];
             let size = class.sizes.sample(&mut self.rng);
@@ -211,7 +211,7 @@ impl HostAgent for WorkloadHost {
         if self
             .spec
             .as_ref()
-            .map_or(false, |s| s.pattern.is_sender(ctx.host().0))
+            .is_some_and(|s| s.pattern.is_sender(ctx.host().0))
         {
             self.schedule_next(ctx);
         }

@@ -3,6 +3,7 @@
 use aequitas::{AdmissionController, AequitasConfig, QuotaBucket, TenantId};
 use aequitas_netsim::{HostCtx, HostId, Packet};
 use aequitas_sim_core::{SimDuration, SimTime};
+use aequitas_telemetry::{labels, Telemetry, TraceEvent};
 use aequitas_transport::{Transport, TransportConfig};
 use aequitas_workloads::{size_in_mtus, Priority, QosClass, QosMapping};
 
@@ -156,6 +157,7 @@ pub struct RpcStack {
     next_rpc_id: u64,
     dropped: u64,
     dropped_bytes: u64,
+    telemetry: Telemetry,
 }
 
 impl RpcStack {
@@ -183,7 +185,26 @@ impl RpcStack {
             next_rpc_id: (host.0 as u64) << 32,
             dropped: 0,
             dropped_bytes: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle to the stack and propagate it to the
+    /// transport and the admission controller (if any): RPC issue/complete
+    /// events, cwnd updates, retransmissions, and admit-probability steps
+    /// all flow through the same handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.transport.set_telemetry(telemetry.clone());
+        let host = self.host.0;
+        match &mut self.policy {
+            Policy::Static => {}
+            Policy::Aequitas(ctl)
+            | Policy::AequitasDropExcess(ctl)
+            | Policy::AequitasWithQuota {
+                controller: ctl, ..
+            } => ctl.attach_telemetry(telemetry.clone(), host),
+        }
+        self.telemetry = telemetry;
     }
 
     /// This host.
@@ -228,6 +249,13 @@ impl RpcStack {
                     // Reject: the RPC never enters the network.
                     self.dropped += 1;
                     self.dropped_bytes += size_bytes;
+                    self.telemetry.with_metrics(|m| {
+                        m.counter_add(
+                            "rpc.rejected",
+                            labels(&[("host", &self.host.0.to_string())]),
+                            1,
+                        );
+                    });
                     return u64::MAX;
                 }
                 (QosClass(d.qos_run), false)
@@ -275,6 +303,34 @@ impl RpcStack {
                 downgraded,
             },
         );
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(
+                ctx.now(),
+                TraceEvent::RpcIssue {
+                    host: self.host.0,
+                    dst: dst.0,
+                    qos_req: qos_requested.0,
+                    qos_run: qos_run.0,
+                    downgraded,
+                    size_bytes,
+                    p_admit: self.admit_probability(dst, qos_requested),
+                },
+            );
+            self.telemetry.with_metrics(|m| {
+                let l = labels(&[
+                    ("host", &self.host.0.to_string()),
+                    ("qos", &qos_run.0.to_string()),
+                ]);
+                m.counter_add("rpc.issued", l, 1);
+                if downgraded {
+                    m.counter_add(
+                        "rpc.downgraded",
+                        labels(&[("host", &self.host.0.to_string())]),
+                        1,
+                    );
+                }
+            });
+        }
         self.transport
             .send_message(ctx, dst, qos_run.0, rpc_id, size_bytes);
         rpc_id
@@ -406,8 +462,60 @@ impl RpcStack {
                 }
                 Policy::Static => {}
             }
+            if self.telemetry.is_enabled() {
+                let rnl = completion.rnl();
+                self.telemetry.emit(
+                    completion.completed_at,
+                    TraceEvent::RpcComplete {
+                        host: self.host.0,
+                        dst: completion.dst.0,
+                        qos_run: completion.qos_run.0,
+                        downgraded: completion.downgraded,
+                        size_bytes: completion.size_bytes,
+                        rnl_ps: rnl.as_ps(),
+                        rnl_per_mtu_ps: completion.rnl_per_mtu().as_ps(),
+                    },
+                );
+                self.telemetry.with_metrics(|m| {
+                    let l = labels(&[("qos", &completion.qos_run.0.to_string())]);
+                    m.hist_record(
+                        "rpc.rnl_per_mtu_ns",
+                        l.clone(),
+                        completion.rnl_per_mtu().as_ps() / 1_000,
+                    );
+                    m.counter_add("rpc.completed", l, 1);
+                });
+            }
             self.completions.push(completion);
         }
+    }
+
+    /// Refresh this stack's gauges in the telemetry registry (outstanding
+    /// RPCs, cumulative issue/downgrade counts, transport queue depths). The
+    /// harness calls this right before each sampling tick; a no-op when
+    /// telemetry is disabled.
+    pub fn sample_metrics(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.with_metrics(|m| {
+            let l = labels(&[("host", &self.host.0.to_string())]);
+            m.gauge_set("rpc.outstanding", l.clone(), self.pending.len() as f64);
+            m.gauge_set(
+                "transport.queued_messages",
+                l.clone(),
+                self.transport.queued_messages() as f64,
+            );
+            m.gauge_set(
+                "transport.unacked_packets",
+                l.clone(),
+                self.transport.unacked_packets() as f64,
+            );
+            if let Some((issued, downgraded)) = self.admission_counters() {
+                m.gauge_set("controller.issued", l.clone(), issued as f64);
+                m.gauge_set("controller.downgraded", l, downgraded as f64);
+            }
+        });
     }
 }
 

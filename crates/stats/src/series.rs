@@ -17,7 +17,7 @@ impl TimeSeries {
 
     /// Append a point. Points must be appended in nondecreasing time order.
     pub fn push(&mut self, t: SimTime, v: f64) {
-        debug_assert!(self.points.last().map_or(true, |&(pt, _)| t >= pt));
+        debug_assert!(self.points.last().is_none_or(|&(pt, _)| t >= pt));
         self.points.push((t, v));
     }
 

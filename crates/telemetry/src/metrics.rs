@@ -1,0 +1,256 @@
+//! The metrics registry: counters, gauges, and log-linear histograms keyed
+//! by `(metric, labels)`, sampled on a simulated-time cadence into
+//! time-series.
+//!
+//! Metric names are dotted lowercase (`switch.port.backlog_bytes`); labels
+//! are a canonical `k=v,k=v` string built with [`labels`]. Keys live in a
+//! `BTreeMap` so iteration — and therefore every CSV export — is
+//! deterministic. [`MetricsRegistry::sample`] snapshots the current value of
+//! every counter and gauge (and derived percentiles of every histogram)
+//! into per-key time-series for plotting.
+
+use crate::hist::LogLinearHistogram;
+use aequitas_sim_core::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Build a canonical label string from `(key, value)` pairs:
+/// `labels(&[("sw", "0"), ("port", "2")]) == "sw=0,port=2"`.
+pub fn labels(pairs: &[(&str, &str)]) -> String {
+    let mut s = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}={v}");
+    }
+    s
+}
+
+type Key = (String, String);
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(u64),
+    Gauge(f64),
+    Hist(LogLinearHistogram),
+}
+
+/// Histogram percentiles snapshotted into series on every sample tick.
+const HIST_PERCENTILES: [(f64, &str); 3] = [(50.0, "p50"), (99.0, "p99"), (99.9, "p999")];
+
+/// A registry of named metrics with periodic time-series snapshots.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    slots: BTreeMap<Key, Slot>,
+    series: BTreeMap<Key, Vec<(u64, f64)>>,
+    samples_taken: u64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first if needed.
+    pub fn counter_add(&mut self, name: impl Into<String>, labels: String, delta: u64) {
+        match self
+            .slots
+            .entry((name.into(), labels))
+            .or_insert(Slot::Counter(0))
+        {
+            Slot::Counter(c) => *c += delta,
+            other => debug_assert!(false, "metric type mismatch: {other:?}"),
+        }
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&mut self, name: impl Into<String>, labels: String, value: f64) {
+        match self
+            .slots
+            .entry((name.into(), labels))
+            .or_insert(Slot::Gauge(0.0))
+        {
+            Slot::Gauge(g) => *g = value,
+            other => debug_assert!(false, "metric type mismatch: {other:?}"),
+        }
+    }
+
+    /// Record `value` into a histogram metric.
+    pub fn hist_record(&mut self, name: impl Into<String>, labels: String, value: u64) {
+        match self
+            .slots
+            .entry((name.into(), labels))
+            .or_insert_with(|| Slot::Hist(LogLinearHistogram::new()))
+        {
+            Slot::Hist(h) => h.record(value),
+            other => debug_assert!(false, "metric type mismatch: {other:?}"),
+        }
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter(&self, name: &str, labels: &str) -> Option<u64> {
+        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+            Slot::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge(&self, name: &str, labels: &str) -> Option<f64> {
+        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+            Slot::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Percentile `p` of a histogram metric, if it exists and is non-empty.
+    pub fn percentile(&self, name: &str, labels: &str, p: f64) -> Option<u64> {
+        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+            Slot::Hist(h) => h.percentile(p),
+            _ => None,
+        }
+    }
+
+    /// Read access to a histogram metric.
+    pub fn histogram(&self, name: &str, labels: &str) -> Option<&LogLinearHistogram> {
+        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+            Slot::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Snapshot every counter/gauge value (and histogram percentiles, under
+    /// `<name>.<pN>` keys) into the time-series at simulated time `now`.
+    pub fn sample(&mut self, now: SimTime) {
+        let t = now.as_ps();
+        self.samples_taken += 1;
+        for ((name, labels), slot) in &self.slots {
+            match slot {
+                Slot::Counter(c) => {
+                    self.series
+                        .entry((name.clone(), labels.clone()))
+                        .or_default()
+                        .push((t, *c as f64));
+                }
+                Slot::Gauge(g) => {
+                    self.series
+                        .entry((name.clone(), labels.clone()))
+                        .or_default()
+                        .push((t, *g));
+                }
+                Slot::Hist(h) => {
+                    for (p, tag) in HIST_PERCENTILES {
+                        if let Some(v) = h.percentile(p) {
+                            self.series
+                                .entry((format!("{name}.{tag}"), labels.clone()))
+                                .or_default()
+                                .push((t, v as f64));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of sample ticks taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// The sampled series for one key, as `(t_ps, value)` pairs.
+    pub fn series(&self, name: &str, labels: &str) -> Option<&[(u64, f64)]> {
+        self.series
+            .get(&(name.to_string(), labels.to_string()))
+            .map(|v| v.as_slice())
+    }
+
+    /// Number of distinct `(metric, labels)` series captured.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Write every sampled series as CSV: `t_us,metric,labels,value`, rows
+    /// ordered by metric key then time. A multi-pair labels string contains
+    /// commas, so the labels field is double-quoted whenever it is non-empty
+    /// to keep every row at exactly four CSV fields. Plot with
+    /// `scripts/plot_csv.sh` after filtering one metric.
+    pub fn write_series_csv(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "t_us,metric,labels,value")?;
+        for ((name, labels), points) in &self.series {
+            let quoted = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("\"{labels}\"")
+            };
+            for &(t_ps, v) in points {
+                writeln!(w, "{:.3},{name},{quoted},{v}", t_ps as f64 / 1e6)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_canonical_form() {
+        assert_eq!(labels(&[]), "");
+        assert_eq!(labels(&[("sw", "0")]), "sw=0");
+        assert_eq!(labels(&[("sw", "0"), ("port", "2")]), "sw=0,port=2");
+    }
+
+    #[test]
+    fn counters_accumulate_and_sample() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("pkts", labels(&[("class", "0")]), 3);
+        r.counter_add("pkts", labels(&[("class", "0")]), 4);
+        assert_eq!(r.counter("pkts", "class=0"), Some(7));
+        r.sample(SimTime::from_us(1));
+        r.counter_add("pkts", labels(&[("class", "0")]), 1);
+        r.sample(SimTime::from_us(2));
+        let s = r.series("pkts", "class=0").unwrap();
+        assert_eq!(s, &[(1_000_000, 7.0), (2_000_000, 8.0)]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("depth", String::new(), 5.0);
+        r.gauge_set("depth", String::new(), 2.5);
+        assert_eq!(r.gauge("depth", ""), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_sample_percentiles() {
+        let mut r = MetricsRegistry::new();
+        for v in 1..=1000u64 {
+            r.hist_record("rnl", labels(&[("qos", "0")]), v);
+        }
+        let p99 = r.percentile("rnl", "qos=0", 99.0).unwrap();
+        assert!((985..=1000).contains(&p99), "{p99}");
+        r.sample(SimTime::from_us(10));
+        assert!(r.series("rnl.p99", "qos=0").is_some());
+        assert!(r.series("rnl.p50", "qos=0").is_some());
+    }
+
+    #[test]
+    fn csv_export_is_deterministic_and_parses() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("b", String::new(), 1.0);
+        r.counter_add("a", labels(&[("x", "1")]), 2);
+        r.sample(SimTime::from_us(5));
+        let mut out = Vec::new();
+        r.write_series_csv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t_us,metric,labels,value");
+        // BTreeMap ordering: "a" before "b". Non-empty labels are quoted
+        // (multi-pair labels embed commas).
+        assert_eq!(lines[1], "5.000,a,\"x=1\",2");
+        assert_eq!(lines[2], "5.000,b,,1");
+    }
+}

@@ -1,0 +1,495 @@
+//! Typed lifecycle events and the sinks that consume them.
+//!
+//! Every instrumented layer emits [`TraceEvent`]s through a shared
+//! [`Telemetry`](crate::Telemetry) handle; the handle serializes them to
+//! JSONL (one object per line, stable field order, `t_ps` simulated
+//! timestamp plus a monotone `seq`) and forwards the line to a
+//! [`TraceSink`]. Two sinks ship with the crate: [`JsonlWriter`] streams to
+//! a file for offline analysis, and [`FlightRecorder`] keeps the last N
+//! lines in a ring buffer so a failing test or aborted run can dump the
+//! events leading up to the problem.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Which kind of node a packet event happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A host NIC egress port.
+    Host,
+    /// A switch egress port.
+    Switch,
+}
+
+impl NodeKind {
+    fn label(self) -> &'static str {
+        match self {
+            NodeKind::Host => "host",
+            NodeKind::Switch => "switch",
+        }
+    }
+}
+
+/// A structured lifecycle event. Field units are encoded in the names
+/// (`*_ps` = picoseconds of simulated time, `*_bytes` = bytes).
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A packet was accepted into an egress-port queue.
+    PktEnqueue {
+        /// Node kind the port belongs to.
+        node: NodeKind,
+        /// Node index (host id or switch id).
+        node_id: usize,
+        /// Egress port index (always 0 for host NICs).
+        port: usize,
+        /// QoS class of the packet.
+        class: usize,
+        /// Packet size on the wire.
+        bytes: u32,
+        /// Queued packets of this class after the enqueue.
+        depth_pkts: usize,
+        /// Total queued bytes at the port after the enqueue.
+        backlog_bytes: u64,
+    },
+    /// A packet was selected for transmission.
+    PktDequeue {
+        /// Node kind the port belongs to.
+        node: NodeKind,
+        /// Node index.
+        node_id: usize,
+        /// Egress port index.
+        port: usize,
+        /// QoS class of the packet.
+        class: usize,
+        /// Packet size on the wire.
+        bytes: u32,
+        /// Total queued bytes remaining at the port.
+        backlog_bytes: u64,
+    },
+    /// A packet was rejected at enqueue (tail drop).
+    PktDrop {
+        /// Node kind the port belongs to.
+        node: NodeKind,
+        /// Node index.
+        node_id: usize,
+        /// Egress port index.
+        port: usize,
+        /// QoS class of the packet.
+        class: usize,
+        /// Packet size on the wire.
+        bytes: u32,
+        /// Total queued bytes at the port when the drop happened.
+        backlog_bytes: u64,
+    },
+    /// An RPC passed through admission control and entered the transport.
+    RpcIssue {
+        /// Issuing host.
+        host: usize,
+        /// Destination host.
+        dst: usize,
+        /// QoS the application requested.
+        qos_req: u8,
+        /// QoS the RPC actually runs on.
+        qos_run: u8,
+        /// Whether admission control downgraded it.
+        downgraded: bool,
+        /// Payload size.
+        size_bytes: u64,
+        /// Admit probability of the (dst, qos_req) channel at issue time.
+        p_admit: f64,
+    },
+    /// An RPC completed (last byte acknowledged).
+    RpcComplete {
+        /// Issuing host.
+        host: usize,
+        /// Destination host.
+        dst: usize,
+        /// QoS the RPC ran on.
+        qos_run: u8,
+        /// Whether it had been downgraded.
+        downgraded: bool,
+        /// Payload size.
+        size_bytes: u64,
+        /// RPC network latency in picoseconds.
+        rnl_ps: u64,
+        /// RNL divided by the RPC's size in MTUs.
+        rnl_per_mtu_ps: u64,
+    },
+    /// The congestion window changed after an RTT sample.
+    CwndUpdate {
+        /// Sending host.
+        host: usize,
+        /// Destination host.
+        dst: usize,
+        /// QoS class of the connection.
+        class: u8,
+        /// Congestion window after the update, in packets.
+        cwnd: f64,
+        /// The RTT sample that drove the update.
+        rtt_ps: u64,
+        /// The Swift target delay the sample was compared against.
+        target_ps: u64,
+        /// Whether the sample exceeded the target (decrease pressure).
+        over_target: bool,
+    },
+    /// A segment retransmission after RTO expiry.
+    Retransmit {
+        /// Sending host.
+        host: usize,
+        /// Destination host.
+        dst: usize,
+        /// QoS class of the connection.
+        class: u8,
+        /// Message the segment belongs to.
+        msg_id: u64,
+        /// Segment index within the message.
+        seq: u32,
+    },
+    /// Algorithm 1 changed an admit probability (AIMD step).
+    AdmitProb {
+        /// Host owning the controller (the channel's source).
+        host: usize,
+        /// Destination host of the channel.
+        dst: usize,
+        /// QoS level of the channel.
+        qos: u8,
+        /// Admit probability after the step.
+        p: f64,
+        /// Signed change applied by this step.
+        delta: f64,
+    },
+    /// A diagnostic message from any layer.
+    Warn {
+        /// Emitting component (crate or module name).
+        component: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `type` tag as it appears in the JSONL output.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::PktEnqueue { .. } => "pkt_enqueue",
+            TraceEvent::PktDequeue { .. } => "pkt_dequeue",
+            TraceEvent::PktDrop { .. } => "pkt_drop",
+            TraceEvent::RpcIssue { .. } => "rpc_issue",
+            TraceEvent::RpcComplete { .. } => "rpc_complete",
+            TraceEvent::CwndUpdate { .. } => "cwnd_update",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::AdmitProb { .. } => "admit_prob",
+            TraceEvent::Warn { .. } => "warn",
+        }
+    }
+
+    /// Serialize as one JSON object (no trailing newline). `seq` and `t_ps`
+    /// lead every record so downstream tools can sort/merge streams.
+    pub fn to_json(&self, seq: u64, t_ps: u64) -> String {
+        let mut s = String::with_capacity(160);
+        let _ = write!(s, "{{\"seq\":{seq},\"t_ps\":{t_ps},\"type\":\"{}\"", self.type_tag());
+        match self {
+            TraceEvent::PktEnqueue {
+                node,
+                node_id,
+                port,
+                class,
+                bytes,
+                depth_pkts,
+                backlog_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":\"{}{}\",\"port\":{port},\"class\":{class},\"bytes\":{bytes},\
+                     \"depth_pkts\":{depth_pkts},\"backlog_bytes\":{backlog_bytes}",
+                    node.label(),
+                    node_id
+                );
+            }
+            TraceEvent::PktDequeue {
+                node,
+                node_id,
+                port,
+                class,
+                bytes,
+                backlog_bytes,
+            }
+            | TraceEvent::PktDrop {
+                node,
+                node_id,
+                port,
+                class,
+                bytes,
+                backlog_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":\"{}{}\",\"port\":{port},\"class\":{class},\"bytes\":{bytes},\
+                     \"backlog_bytes\":{backlog_bytes}",
+                    node.label(),
+                    node_id
+                );
+            }
+            TraceEvent::RpcIssue {
+                host,
+                dst,
+                qos_req,
+                qos_run,
+                downgraded,
+                size_bytes,
+                p_admit,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"host\":{host},\"dst\":{dst},\"qos_req\":{qos_req},\"qos_run\":{qos_run},\
+                     \"downgraded\":{downgraded},\"size_bytes\":{size_bytes},\"p_admit\":{p_admit:.6}"
+                );
+            }
+            TraceEvent::RpcComplete {
+                host,
+                dst,
+                qos_run,
+                downgraded,
+                size_bytes,
+                rnl_ps,
+                rnl_per_mtu_ps,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"host\":{host},\"dst\":{dst},\"qos_run\":{qos_run},\"downgraded\":{downgraded},\
+                     \"size_bytes\":{size_bytes},\"rnl_ps\":{rnl_ps},\"rnl_per_mtu_ps\":{rnl_per_mtu_ps}"
+                );
+            }
+            TraceEvent::CwndUpdate {
+                host,
+                dst,
+                class,
+                cwnd,
+                rtt_ps,
+                target_ps,
+                over_target,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"host\":{host},\"dst\":{dst},\"class\":{class},\"cwnd\":{cwnd:.4},\
+                     \"rtt_ps\":{rtt_ps},\"target_ps\":{target_ps},\"over_target\":{over_target}"
+                );
+            }
+            TraceEvent::Retransmit {
+                host,
+                dst,
+                class,
+                msg_id,
+                seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"host\":{host},\"dst\":{dst},\"class\":{class},\"msg_id\":{msg_id},\"seq\":{seq}"
+                );
+            }
+            TraceEvent::AdmitProb {
+                host,
+                dst,
+                qos,
+                p,
+                delta,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"host\":{host},\"dst\":{dst},\"qos\":{qos},\"p\":{p:.6},\"delta\":{delta:.6}"
+                );
+            }
+            TraceEvent::Warn { component, message } => {
+                let _ = write!(
+                    s,
+                    ",\"component\":\"{}\",\"message\":\"{}\"",
+                    escape_json(component),
+                    escape_json(message)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Consumes serialized trace lines. Implementations must be `Send` so a
+/// telemetry handle can be shared across sweep worker threads.
+pub trait TraceSink: Send {
+    /// Record one serialized JSONL line (no trailing newline).
+    fn record_line(&mut self, line: &str);
+    /// Flush any buffering to the backing store.
+    fn flush(&mut self) {}
+}
+
+/// A sink that discards everything (useful to exercise the enabled path
+/// without IO, e.g. in determinism tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record_line(&mut self, _line: &str) {}
+}
+
+/// Streams trace lines to a JSONL file through a buffered writer.
+pub struct JsonlWriter {
+    w: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+}
+
+impl JsonlWriter {
+    /// Create (truncate) `path` and return a writer sink.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let f = std::fs::File::create(&path)?;
+        Ok(JsonlWriter {
+            w: std::io::BufWriter::new(f),
+            path,
+        })
+    }
+
+    /// The path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSink for JsonlWriter {
+    fn record_line(&mut self, line: &str) {
+        let _ = writeln!(self.w, "{line}");
+    }
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightBuf {
+    lines: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A ring buffer holding the most recent trace lines ("flight recorder").
+///
+/// Cheap to clone — clones share the same buffer, so a test can keep one
+/// clone for inspection while the telemetry handle owns the other.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Arc<Mutex<FlightBuf>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        FlightRecorder {
+            buf: Arc::new(Mutex::new(FlightBuf {
+                lines: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Snapshot of the retained lines, oldest first.
+    pub fn dump(&self) -> Vec<String> {
+        let buf = self.buf.lock().unwrap();
+        buf.lines.iter().cloned().collect()
+    }
+
+    /// Lines currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().lines.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().unwrap().dropped
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record_line(&mut self, line: &str) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.lines.len() == buf.capacity {
+            buf.lines.pop_front();
+            buf.dropped += 1;
+        }
+        buf.lines.push_back(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_stable_prefix() {
+        let ev = TraceEvent::PktDrop {
+            node: NodeKind::Switch,
+            node_id: 3,
+            port: 2,
+            class: 1,
+            bytes: 4160,
+            backlog_bytes: 99,
+        };
+        let j = ev.to_json(7, 1234);
+        assert!(j.starts_with("{\"seq\":7,\"t_ps\":1234,\"type\":\"pkt_drop\""), "{j}");
+        assert!(j.ends_with('}'));
+        assert!(j.contains("\"node\":\"switch3\""));
+    }
+
+    #[test]
+    fn warn_messages_are_escaped() {
+        let ev = TraceEvent::Warn {
+            component: "x".into(),
+            message: "line\n\"quoted\"\\".into(),
+        };
+        let j = ev.to_json(0, 0);
+        assert!(j.contains("line\\n\\\"quoted\\\"\\\\"), "{j}");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n() {
+        let mut fr = FlightRecorder::new(3);
+        let reader = fr.clone();
+        for i in 0..5 {
+            fr.record_line(&format!("l{i}"));
+        }
+        assert_eq!(reader.dump(), vec!["l2", "l3", "l4"]);
+        assert_eq!(reader.dropped(), 2);
+    }
+}

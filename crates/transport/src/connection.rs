@@ -213,9 +213,8 @@ impl Connection {
         config: &TransportConfig,
     ) -> Option<CompletedMessage> {
         let pos = self.msg_pos(msg_id)?;
-        if self.msgs[pos].segs[seq as usize].take().is_none() {
-            return None; // duplicate or stale ACK
-        }
+        // A duplicate or stale ACK finds the segment slot already empty.
+        self.msgs[pos].segs[seq as usize].take()?;
         self.inflight -= 1;
         self.cc.on_ack(rtt, now, config);
 

@@ -34,6 +34,7 @@ pub use swift::SwiftCc;
 
 use aequitas_netsim::{FlowKey, HostCtx, HostId, Packet, PacketKind};
 use aequitas_sim_core::{SimDuration, SimTime};
+use aequitas_telemetry::{Telemetry, TraceEvent};
 use connection::Connection;
 
 /// Timer tokens at or above this value belong to the transport; the RPC
@@ -89,6 +90,7 @@ pub struct Transport {
     /// many paced connections cannot multiply timers.
     next_pace_wake: SimTime,
     next_packet_id: u64,
+    telemetry: Telemetry,
 }
 
 impl Transport {
@@ -104,7 +106,14 @@ impl Transport {
             retx_timer_armed: false,
             next_pace_wake: SimTime::MAX,
             next_packet_id: (host.0 as u64) << 40,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; cwnd updates and retransmissions are
+    /// emitted through it. Telemetry never alters transport behaviour.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn slot(flow: &FlowKey) -> usize {
@@ -196,6 +205,22 @@ impl Transport {
                     if let Some(done) = conn.on_ack(msg_id, seq, rtt, ctx.now(), &self.config) {
                         self.completions.push(done);
                     }
+                    if self.telemetry.is_enabled() {
+                        let conn = &self.conns[idx];
+                        let target = conn.cc.target(&self.config);
+                        self.telemetry.emit(
+                            ctx.now(),
+                            TraceEvent::CwndUpdate {
+                                host: self.host.0,
+                                dst: flow.dst.0,
+                                class: flow.class,
+                                cwnd: conn.cc.cwnd(),
+                                rtt_ps: rtt.as_ps(),
+                                target_ps: target.as_ps(),
+                                over_target: rtt > target,
+                            },
+                        );
+                    }
                     self.pump(ctx, idx);
                 }
                 true
@@ -225,6 +250,29 @@ impl Transport {
             self.conns[idx].take_expired(now, &self.config, &mut expired);
             for &(msg_id, seq, is_last) in &expired {
                 self.transmit_segment(ctx, idx, msg_id, seq, is_last);
+                if self.telemetry.is_enabled() {
+                    let flow = self.conns[idx].flow;
+                    self.telemetry.emit(
+                        now,
+                        TraceEvent::Retransmit {
+                            host: self.host.0,
+                            dst: flow.dst.0,
+                            class: flow.class,
+                            msg_id,
+                            seq,
+                        },
+                    );
+                    self.telemetry.with_metrics(|m| {
+                        m.counter_add(
+                            "transport.retransmits",
+                            aequitas_telemetry::labels(&[(
+                                "host",
+                                &self.host.0.to_string(),
+                            )]),
+                            1,
+                        );
+                    });
+                }
             }
             self.pump(ctx, idx);
         }

@@ -180,7 +180,7 @@ mod tests {
         let mut t = SimTime::from_secs_f64(1.0);
         for _ in 0..10_000 {
             cc.on_ack(SimDuration::from_ms(10), t, &c);
-            t = t + SimDuration::from_ms(100);
+            t += SimDuration::from_ms(100);
         }
         assert!(cc.cwnd() >= c.min_cwnd);
     }

@@ -98,7 +98,7 @@ impl ArrivalState {
                     let burst_end = period_start + burst_len;
                     let room = burst_end.saturating_since(t);
                     if remaining <= room {
-                        t = t + remaining;
+                        t += remaining;
                         break;
                     }
                     remaining -= room;

@@ -9,6 +9,7 @@
 use aequitas_experiments::slo::{fig11_configured, Fig11Result};
 use aequitas_experiments::Scale;
 use aequitas_netsim::QueueKind;
+use aequitas_telemetry::{FlightRecorder, Telemetry, TelemetryConfig};
 
 fn fingerprint(r: &Fig11Result) -> Vec<(u64, u64, u64)> {
     r.points
@@ -37,4 +38,58 @@ fn fig11_is_invariant_under_threads_and_queue_backend() {
         baseline, heap,
         "calendar and heap event queues must order events identically"
     );
+}
+
+/// Telemetry is an observer, never a participant: running the same
+/// experiment with tracing + metrics enabled must produce bit-identical
+/// simulation results to a run with telemetry disabled.
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    use aequitas::{AequitasConfig, SloTarget};
+    use aequitas_experiments::harness::{run_macro, MacroSetup, PolicyChoice};
+    use aequitas_rpc::{ArrivalProcess, Priority, PrioritySpec, TrafficPattern, WorkloadSpec};
+    use aequitas_sim_core::SimDuration;
+    use aequitas_workloads::{QosMapping, SizeDist};
+
+    let run = |tel: Telemetry| {
+        let slo = SloTarget::absolute(SimDuration::from_us(15), 8, 99.9);
+        let mut setup = MacroSetup::star_3qos(3);
+        setup.mapping = QosMapping::two_level();
+        setup.engine = aequitas_netsim::EngineConfig::default_2qos();
+        setup.policy = PolicyChoice::Aequitas(AequitasConfig::two_qos(slo));
+        setup.duration = SimDuration::from_ms(5);
+        setup.warmup = SimDuration::from_ms(1);
+        setup.telemetry = tel;
+        for h in 0..2 {
+            setup.workloads[h] = Some(WorkloadSpec {
+                arrival: ArrivalProcess::Poisson { load: 0.9 },
+                pattern: TrafficPattern::ManyToOne { dst: 2 },
+                classes: vec![PrioritySpec {
+                    priority: Priority::PerformanceCritical,
+                    byte_share: 1.0,
+                    sizes: SizeDist::Fixed(32_768),
+                }],
+                stop: None,
+            });
+        }
+        let r = run_macro(setup);
+        (
+            r.completions.len(),
+            r.issued,
+            r.events,
+            r.completions.iter().map(|c| c.rnl().as_ps()).sum::<u64>(),
+        )
+    };
+    let disabled = run(Telemetry::disabled());
+    let recorder = FlightRecorder::new(1024);
+    let enabled = run(Telemetry::with_sink(
+        recorder.clone(),
+        TelemetryConfig::default(),
+    ));
+    assert_eq!(
+        disabled, enabled,
+        "enabling telemetry changed the simulation"
+    );
+    // And the traced run did actually record something.
+    assert!(!recorder.is_empty());
 }

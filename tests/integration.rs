@@ -3,11 +3,11 @@
 
 use aequitas::{AequitasConfig, SloTarget};
 use aequitas_analysis::{delay_h, fluid_delays, FluidSpec, TwoQosParams};
-use aequitas_experiments::harness::{run_macro, MacroSetup, PolicyChoice};
+use aequitas_experiments::harness::{build_engine, run_macro, MacroSetup, PolicyChoice};
 use aequitas_experiments::slo::{admitted_mix, p999_rnl_us};
-use aequitas_netsim::EngineConfig;
+use aequitas_netsim::{EngineConfig, HostId, SwitchId};
 use aequitas_rpc::{ArrivalProcess, Priority, PrioritySpec, TrafficPattern, WorkloadSpec};
-use aequitas_sim_core::SimDuration;
+use aequitas_sim_core::{SimDuration, SimTime};
 use aequitas_workloads::{QosClass, QosMapping, SizeDist};
 
 fn overload_workload(pc_share: f64, dst: usize) -> WorkloadSpec {
@@ -143,6 +143,69 @@ fn full_stack_is_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// Packet conservation at the fabric: once the run quiesces, every packet
+/// the host NICs put on the wire is accounted for at the switch as either
+/// transmitted, dropped, or still queued — the port counters (and the new
+/// high-water marks) must balance the offered load exactly.
+#[test]
+fn port_counters_conserve_offered_load() {
+    let mut setup = MacroSetup::star_3qos(3);
+    setup.engine = EngineConfig::default_2qos();
+    // A shallow port buffer so the 2x overload actually overflows (the
+    // transport's windows keep the default 2 MB buffer drop-free).
+    setup.engine.switch_buffer_bytes = Some(96 << 10);
+    setup.mapping = QosMapping::two_level();
+    let mut spec = overload_workload(0.7, 2);
+    // Stop the workload, then drain: with no arrivals past the stop time
+    // the transport retires its backlog and the event queue empties, so
+    // nothing is in flight when we read the counters.
+    spec.stop = Some(SimTime::from_ms(4));
+    setup.workloads[0] = Some(spec.clone());
+    setup.workloads[1] = Some(spec);
+    let mut engine = build_engine(setup);
+    engine.run_until(SimTime::MAX);
+
+    let classes = engine.classes();
+    let host_tx: u64 = (0..3)
+        .map(|h| engine.host_nic_stats(HostId(h)).tx_packets.iter().sum::<u64>())
+        .sum();
+    let mut switch_accounted = 0u64;
+    let mut total_drops = 0u64;
+    for port in 0..3 {
+        let st = engine.switch_port_stats(SwitchId(0), port);
+        switch_accounted += st.tx_packets.iter().sum::<u64>() + st.total_drops();
+        total_drops += st.total_drops();
+        for class in 0..classes {
+            switch_accounted +=
+                engine.switch_port_class_packets(SwitchId(0), port, class) as u64;
+        }
+    }
+    assert_eq!(
+        host_tx,
+        switch_accounted + engine.injected_losses(),
+        "offered {host_tx} packets but the switch accounts for {switch_accounted}"
+    );
+    assert!(total_drops > 0, "a 2x overload must overflow the hot port");
+
+    // High-water marks: the congested egress port (toward host 2) must have
+    // seen real queueing, and a high-water mark can never sit below the
+    // instantaneous backlog.
+    for port in 0..3 {
+        let st = engine.switch_port_stats(SwitchId(0), port);
+        assert!(
+            st.max_backlog_bytes >= engine.switch_port_backlog(SwitchId(0), port),
+            "port {port} high-water mark below current backlog"
+        );
+    }
+    let hot = engine.switch_port_stats(SwitchId(0), 2);
+    assert!(hot.max_backlog_bytes > 0, "no queueing recorded at the hot port");
+    assert!(
+        hot.max_class_depth_pkts.iter().any(|&d| d > 0),
+        "no per-class depth recorded at the hot port: {:?}",
+        hot.max_class_depth_pkts
+    );
 }
 
 /// DWRR and virtual-time WFQ are interchangeable fabric implementations:

@@ -378,7 +378,7 @@ mod tests {
                 prop_assert!(a < 3);
                 prop_assert!((1..10).contains(&b));
             }
-            prop_assert!(y >= 0.5 && y < 1.5, "y out of range: {y}");
+            prop_assert!((0.5..1.5).contains(&y), "y out of range: {y}");
             prop_assert_eq!(2 + 2, 4);
         }
     }
