@@ -129,9 +129,9 @@ impl DeadlineHost {
             line_rate,
             gen,
             pending_arrival: None,
-            msgs: HashMap::new(),
-            pace: HashMap::new(),
-            inflows: HashMap::new(),
+            msgs: HashMap::new(), // det: pump()/retx collect keys then sort; otherwise keyed
+            pace: HashMap::new(), // det: keyed access only, never iterated
+            inflows: HashMap::new(), // det: every scan collects then sorts (arrival_seq/EDF/keys)
             inflow_seq: 0,
             rto: SimDuration::from_us(500),
             req_interval: SimDuration::from_us(10),
@@ -255,6 +255,7 @@ impl DeadlineHost {
             .retain(|_, f| now.saturating_since(f.last_heard) < stale);
 
         let cap = self.line_rate.bps() as f64;
+        // det: filled from sorted flow lists, consumed by keyed get() below
         let mut grants: HashMap<(usize, u64), f64> = HashMap::new();
         match self.mode {
             DeadlineMode::D3 => {

@@ -107,8 +107,8 @@ impl HomaHost {
             host,
             gen,
             pending_arrival: None,
-            out: HashMap::new(),
-            inc: HashMap::new(),
+            out: HashMap::new(), // det: stalled-scan collects then sorts; otherwise keyed
+            inc: HashMap::new(), // det: regrant() sorts by (remaining, key); otherwise keyed
             mtu: 4096,
             rto: SimDuration::from_us(500),
             next_msg_id: (host.0 as u64) << 32,
@@ -274,7 +274,7 @@ impl HostAgent for HomaHost {
                 let total = pkt.rank as u32;
                 let entry = self.inc.entry(key).or_insert_with(|| InHoma {
                     total_segs: total,
-                    received: HashSet::new(),
+                    received: HashSet::new(), // det: membership/len only, never iterated
                     granted_upto: total.min(UNSCHEDULED_SEGS),
                     remaining_segs: total,
                 });

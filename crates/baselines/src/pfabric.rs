@@ -63,6 +63,7 @@ impl PfabricHost {
             host,
             gen,
             pending_arrival: None,
+            // det: iterations use min_by_key with id tiebreak or collect-and-sort
             msgs: HashMap::new(),
             window: 12, // ~1 BDP of MTU packets at 100 Gbps, 4 us RTT
             rto: SimDuration::from_us(300),

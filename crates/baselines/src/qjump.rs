@@ -80,7 +80,7 @@ impl QjumpHost {
             host,
             gen,
             pending_arrival: None,
-            msgs: HashMap::new(),
+            msgs: HashMap::new(), // det: retx scan collects then sort_unstable; otherwise keyed
             classes,
             rto: SimDuration::from_us(500),
             mtu: 4096,

@@ -66,7 +66,7 @@ impl OutMsg {
             acked: 0,
             issued_at,
             deadline,
-            unacked: HashMap::new(),
+            unacked: HashMap::new(), // det: expired() sorts before returning; otherwise keyed
             mtu,
         }
     }

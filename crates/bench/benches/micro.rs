@@ -55,7 +55,7 @@ fn bench_event_queue(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 100;
-            q.schedule(SimTime::from_ps(q.now().as_ps() + t % 10_000 + 1), t);
+            q.schedule(q.now() + SimDuration::from_ps(t % 10_000 + 1), t);
             if t.is_multiple_of(2) {
                 black_box(q.pop());
             }
@@ -80,7 +80,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 let ev = q.pop().expect("pool is never empty");
                 t = t.wrapping_mul(6364136223846793005).wrapping_add(ev.event);
                 // Respread within ~8 us of now, like packet/timer events.
-                q.schedule(SimTime::from_ps(q.now().as_ps() + t % 8_000_000 + 1), ev.event);
+                q.schedule(q.now() + SimDuration::from_ps(t % 8_000_000 + 1), ev.event);
                 black_box(ev.time);
             });
         });

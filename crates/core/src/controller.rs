@@ -39,7 +39,7 @@ impl SloTarget {
     /// `reference_mtus` MTUs (e.g. "15 µs for 32 KB RPCs" → `(15us, 8)`).
     pub fn absolute(target: SimDuration, reference_mtus: u64, target_percentile: f64) -> Self {
         SloTarget::per_mtu(
-            SimDuration::from_ps(target.as_ps() / reference_mtus.max(1)),
+            target / reference_mtus.max(1),
             target_percentile,
         )
     }
@@ -163,7 +163,7 @@ impl AdmissionController {
         AdmissionController {
             config,
             rng: SimRng::new(seed),
-            state: HashMap::new(),
+            state: HashMap::new(), // det: entry()/get() keyed access only, never iterated
             issued: 0,
             downgraded: 0,
             telemetry: Telemetry::disabled(),
@@ -263,7 +263,18 @@ impl AdmissionController {
             }
             (p_before, st.p_admit)
         };
-        if self.telemetry.is_enabled() && p_after != p_before {
+        // Algorithm 1 keeps p within [floor, 1] by construction (line 16's
+        // min and line 18's max); a value outside that band means the AIMD
+        // arithmetic itself is broken.
+        #[cfg(feature = "simsan")]
+        assert!(
+            p_after.is_finite() && (floor..=1.0).contains(&p_after),
+            "simsan[admission]: p_admit {p_after} outside [{floor}, 1.0] \
+             for (dst {dst}, qos {qos_run})",
+        );
+        // Bitwise comparison: "did the probability change at all", exact by
+        // construction, with no tolerance to tune (AQ004 rationale).
+        if self.telemetry.is_enabled() && p_after.to_bits() != p_before.to_bits() {
             self.telemetry.emit(
                 now,
                 TraceEvent::AdmitProb {
@@ -293,6 +304,14 @@ impl AdmissionController {
     /// Total RPCs downgraded.
     pub fn downgraded(&self) -> u64 {
         self.downgraded
+    }
+
+    /// Corruption hook for the simsan fixture tests: force a channel's
+    /// admit probability to an out-of-band value.
+    #[cfg(any(test, feature = "simsan"))]
+    #[doc(hidden)]
+    pub fn simsan_force_p(&mut self, now: SimTime, dst: usize, qos: u8, p: f64) {
+        self.channel_state(now, dst, qos).p_admit = p;
     }
 
     fn channel_state(&mut self, now: SimTime, dst: usize, qos: u8) -> &mut ChannelQosState {
@@ -454,6 +473,31 @@ mod tests {
             increment_window_override: None,
         };
         AdmissionController::new(bad, 1);
+    }
+
+    /// Fixture: a channel whose admit probability was corrupted above 1.0,
+    /// so the next AIMD step lands outside [floor, 1].
+    fn corrupted_p_controller() -> AdmissionController {
+        let mut c = AdmissionController::new(cfg(), 9);
+        c.simsan_force_p(SimTime::ZERO, 5, 0, 5.0);
+        c
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[admission]")]
+    fn simsan_catches_out_of_band_p_admit() {
+        let mut c = corrupted_p_controller();
+        // A miss by a 1-MTU RPC: p = (5.0 - beta).max(floor) = 4.99 > 1.
+        c.on_completion(SimTime::from_us(1), 5, 0, 1, us(100.0));
+    }
+
+    #[cfg(not(feature = "simsan"))]
+    #[test]
+    fn without_simsan_out_of_band_p_admit_is_silent() {
+        let mut c = corrupted_p_controller();
+        c.on_completion(SimTime::from_us(1), 5, 0, 1, us(100.0));
+        assert!((c.admit_probability(5, 0) - 4.99).abs() < 1e-12);
     }
 
     proptest! {

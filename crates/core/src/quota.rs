@@ -26,7 +26,7 @@
 //! track demand shifts, not the data path.
 
 use aequitas_sim_core::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifies a tenant (application) across hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,8 +80,10 @@ impl QuotaServer {
         assert!(capacity_bps.iter().all(|&c| c >= 0.0));
         QuotaServer {
             capacity_bps,
+            // det: allocate() sorts tenants by id before any float
+            // accumulation; no other path iterates this map.
             tenants: HashMap::new(),
-            last_usage: HashMap::new(),
+            last_usage: HashMap::new(), // det: keyed access only, never iterated
         }
     }
 
@@ -98,7 +100,7 @@ impl QuotaServer {
         self.last_usage.remove(&tenant);
     }
 
-    /// Registered tenants.
+    /// Registered tenants (unordered — sort before any order-sensitive use).
     pub fn tenants(&self) -> impl Iterator<Item = (&TenantId, &QuotaSpec)> {
         self.tenants.iter()
     }
@@ -121,26 +123,36 @@ impl QuotaServer {
     ) -> HashMap<TenantId, Grant> {
         let period_secs = period.as_secs_f64().max(1e-9);
         // Aggregate demand per tenant (bytes/sec over the report period).
+        // det: keyed access only below — every iteration that sums floats
+        // runs over the *sorted* `members` list, never over this map.
         let mut demand: HashMap<TenantId, f64> = HashMap::new();
         for r in reports {
             *demand.entry(r.tenant).or_insert(0.0) += r.offered_bytes as f64 / period_secs;
             *self.last_usage.entry(r.tenant).or_insert(0) += r.offered_bytes;
         }
 
+        // det: the returned map is documented as keyed-lookup only; the
+        // values are computed from the sorted member list, so the map's own
+        // order never reaches any result.
         let mut grants: HashMap<TenantId, Grant> = HashMap::new();
         for qos in 0..self.capacity_bps.len() {
-            let members: Vec<(TenantId, QuotaSpec)> = self
+            let mut members: Vec<(TenantId, QuotaSpec)> = self
                 .tenants
                 .iter()
                 .filter(|(_, s)| s.qos as usize == qos)
                 .map(|(t, s)| (*t, *s))
                 .collect();
+            // HashMap iteration order is per-process random, and f64 sums
+            // below are order-dependent: sort so every run (and every
+            // process) accumulates identically.
+            members.sort_by_key(|(t, _)| *t);
             if members.is_empty() {
                 continue;
             }
             let capacity = self.capacity_bps[qos] * 8.0 / 8.0; // bytes/sec
-            // Step 1: base = min(guarantee, demand).
-            let mut base: HashMap<TenantId, f64> = HashMap::new();
+            // Step 1: base = min(guarantee, demand). BTreeMap: iterated and
+            // summed below, so it must have a deterministic order.
+            let mut base: BTreeMap<TenantId, f64> = BTreeMap::new();
             let mut base_total = 0.0;
             for (t, s) in &members {
                 let d = demand.get(t).copied().unwrap_or(0.0);

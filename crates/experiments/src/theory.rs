@@ -198,7 +198,7 @@ impl BurstBlaster {
 
     fn receiver(classes: usize) -> Self {
         let link = LinkSpec::default_100g();
-        let base = link.propagation.as_ps() * 2 + link.rate.serialize_time(PKT_BYTES as u64).as_ps();
+        let base = (link.propagation * 2 + link.rate.serialize_time(PKT_BYTES as u64)).as_ps();
         BurstBlaster {
             dst: None,
             shares: vec![],
@@ -248,7 +248,7 @@ impl BurstBlaster {
         });
         // Next emission: stay inside the burst phase of the period.
         let mut next = now + self.emit_gap;
-        let period_start = SimTime::from_ps(next.as_ps() / self.period.as_ps() * self.period.as_ps());
+        let period_start = next.align_down(self.period);
         if next.since(period_start) >= self.burst_len.saturating_sub(SimDuration::from_ps(1)) {
             next = period_start + self.period;
         }

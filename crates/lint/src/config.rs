@@ -1,0 +1,276 @@
+//! `lint.toml` loading.
+//!
+//! The workspace is registry-free, so we cannot pull in a TOML crate; we
+//! parse the small subset the config actually uses: `[section]` headers,
+//! `key = "string"`, `key = true|false`, and `key = ["a", "b"]` arrays
+//! (single-line), with `#` comments. Anything else is a hard error — a
+//! config typo must fail loudly, not silently disable a rule.
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// `false` disables the rule entirely.
+    pub enabled: bool,
+    /// Path globs (relative to workspace root, `/`-separated) the rule
+    /// skips. `*` matches within a component, `**` matches across them.
+    pub allow: Vec<String>,
+}
+
+/// The whole lint configuration: rule id -> config.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Globs skipped by every rule (e.g. generated code).
+    pub global_allow: Vec<String>,
+    rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Look up a rule; unknown rules default to enabled with no allowlist,
+    /// so a new rule is live before `lint.toml` mentions it.
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or(RuleConfig {
+            enabled: true,
+            allow: Vec::new(),
+        })
+    }
+
+    /// Parse the TOML subset described in the module docs.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("lint.toml:{lineno}: unterminated section header"))?
+                    .trim()
+                    .to_string();
+                if name.is_empty() {
+                    return Err(format!("lint.toml:{lineno}: empty section name"));
+                }
+                if name != "global" {
+                    cfg.rules.entry(name.clone()).or_insert(RuleConfig {
+                        enabled: true,
+                        allow: Vec::new(),
+                    });
+                }
+                section = Some(name);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let sec = section
+                .as_deref()
+                .ok_or_else(|| format!("lint.toml:{lineno}: key outside any [section]"))?;
+            match (sec, key) {
+                ("global", "allow") => {
+                    cfg.global_allow = parse_string_array(value)
+                        .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                }
+                (_, "enabled") => {
+                    let v = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: `enabled` must be true or false"
+                            ))
+                        }
+                    };
+                    cfg.rules
+                        .get_mut(sec)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key in [global]?"))?
+                        .enabled = v;
+                }
+                (_, "allow") => {
+                    let v = parse_string_array(value)
+                        .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                    cfg.rules
+                        .get_mut(sec)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key in [global]?"))?
+                        .allow = v;
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown key `{key}` in [{sec}]"
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strip a `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parse `["a", "b"]` (or a bare `"a"` for a one-element list).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(s) = parse_string(value) {
+        return Ok(vec![s]);
+    }
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected string or [array], got `{value}`"))?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part).ok_or_else(|| format!("expected string, got `{part}`"))?);
+    }
+    Ok(out)
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+}
+
+fn split_top_level(s: &str) -> Vec<&str> {
+    // Commas inside strings do not split.
+    let mut parts = Vec::new();
+    let b = s.as_bytes();
+    let (mut start, mut in_str, mut i) = (0usize, false, 0usize);
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Match `path` (workspace-relative, `/`-separated) against `pat`.
+/// `**` crosses `/`; `*` stays within one component.
+pub fn glob_match(pat: &str, path: &str) -> bool {
+    fn comps(s: &str) -> Vec<&str> {
+        s.split('/').filter(|c| !c.is_empty()).collect()
+    }
+    fn comp_match(pat: &str, s: &str) -> bool {
+        // Within-component `*` wildcard.
+        let parts: Vec<&str> = pat.split('*').collect();
+        if parts.len() == 1 {
+            return pat == s;
+        }
+        let mut rest = s;
+        for (i, part) in parts.iter().enumerate() {
+            if i == 0 {
+                match rest.strip_prefix(part) {
+                    Some(r) => rest = r,
+                    None => return false,
+                }
+            } else if i == parts.len() - 1 {
+                return rest.ends_with(part);
+            } else if let Some(pos) = rest.find(part) {
+                rest = &rest[pos + part.len()..];
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+    fn rec(pat: &[&str], path: &[&str]) -> bool {
+        match (pat.first(), path.first()) {
+            (None, None) => true,
+            (Some(&"**"), _) => {
+                // `**` eats zero or more leading components.
+                rec(&pat[1..], path) || (!path.is_empty() && rec(pat, &path[1..]))
+            }
+            (Some(p), Some(c)) => comp_match(p, c) && rec(&pat[1..], &path[1..]),
+            _ => false,
+        }
+    }
+    rec(&comps(pat), &comps(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[global]
+allow = ["vendor/**"]
+
+[AQ001]
+enabled = true
+allow = ["crates/bench/**", "tests/wall.rs"] # trailing comment
+
+[AQ009]
+enabled = false
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.global_allow, vec!["vendor/**"]);
+        let r = cfg.rule("AQ001");
+        assert!(r.enabled);
+        assert_eq!(r.allow, vec!["crates/bench/**", "tests/wall.rs"]);
+        assert!(!cfg.rule("AQ009").enabled);
+        // Unknown rules default to enabled.
+        assert!(cfg.rule("AQ999").enabled);
+    }
+
+    #[test]
+    fn rejects_typos() {
+        assert!(Config::parse("[AQ001]\nenable = true").is_err());
+        assert!(Config::parse("allow = [\"x\"]").is_err());
+        assert!(Config::parse("[AQ001]\nenabled = yes").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = Config::parse("[AQ001]\nallow = [\"a#b/**\"]").unwrap();
+        assert_eq!(cfg.rule("AQ001").allow, vec!["a#b/**"]);
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("vendor/**", "vendor/proptest/src/lib.rs"));
+        assert!(glob_match("**/*.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/core/src/lib.rs"));
+        assert!(!glob_match("crates/*/lib.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match("tests/wall.rs", "tests/wall.rs"));
+        assert!(!glob_match("vendor/**", "crates/vendorish/lib.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+    }
+}

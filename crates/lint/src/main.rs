@@ -1,0 +1,238 @@
+//! `aequitas-lint` — first-party static analysis for the Aequitas workspace.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p aequitas-lint            # human output, exit 1 on findings
+//! cargo run -p aequitas-lint -- --json  # machine output (stable ordering)
+//! cargo run -p aequitas-lint -- --rules # list rule IDs and rationale
+//! ```
+//!
+//! Configuration lives in `lint.toml` at the workspace root; see the
+//! "Correctness tooling" section of DESIGN.md for the rule catalogue.
+
+mod config;
+mod lexer;
+mod rules;
+
+use config::Config;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--rules" => list_rules = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "aequitas-lint [--json] [--rules] [--root DIR] [--config FILE]\n\
+                     Domain static analysis for the Aequitas workspace (rules AQ001..AQ010)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("aequitas-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in rules::RULES {
+            println!("{}  {:<28} {}", r.id, r.name, r.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default root: the workspace this binary was compiled in.
+    let root = root.unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/lint always sits two levels under the workspace root")
+            .to_path_buf()
+    });
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    let cfg = match std::fs::read_to_string(&config_path) {
+        Ok(src) => match Config::parse(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("aequitas-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "aequitas-lint: cannot read {}: {e}",
+                config_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &files {
+        let abs = root.join(rel);
+        let src = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("aequitas-lint: cannot read {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        };
+        let toks = lexer::tokenize(&src);
+        rules::check_file(&cfg, rel, &toks, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{} {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message);
+        }
+        if findings.is_empty() {
+            eprintln!(
+                "aequitas-lint: clean ({} files, {} rules)",
+                files.len(),
+                rules::RULES.len()
+            );
+        } else {
+            eprintln!("aequitas-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collect workspace-relative `/`-separated paths of `.rs`
+/// files, skipping build output and VCS metadata.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+}
+
+/// Serialize findings as a JSON array. Hand-rolled: the workspace is
+/// registry-free, and the schema is four scalars and a string.
+fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            f.rule,
+            esc(&f.path),
+            f.line,
+            f.col,
+            esc(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot() {
+        let findings = vec![
+            Finding {
+                rule: "AQ001",
+                path: "crates/netsim/src/engine.rs".into(),
+                line: 12,
+                col: 9,
+                message: "wall-clock type `Instant` on a simulation path".into(),
+            },
+            Finding {
+                rule: "AQ004",
+                path: "crates/core/src/controller.rs".into(),
+                line: 266,
+                col: 20,
+                message: "exact float comparison; say \"why\"".into(),
+            },
+        ];
+        let got = to_json(&findings);
+        let want = r#"[
+  {"rule":"AQ001","path":"crates/netsim/src/engine.rs","line":12,"col":9,"message":"wall-clock type `Instant` on a simulation path"},
+  {"rule":"AQ004","path":"crates/core/src/controller.rs","line":266,"col":20,"message":"exact float comparison; say \"why\""}
+]"#;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn json_empty_is_bare_brackets() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_sorted() {
+        let ids: Vec<&str> = rules::RULES.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "rule IDs must stay in order");
+        assert!(ids.len() >= 8, "the lint must keep at least 8 active rules");
+        assert!(ids.iter().all(|i| i.starts_with("AQ") && i.len() == 5));
+    }
+}

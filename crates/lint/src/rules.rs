@@ -1,0 +1,857 @@
+//! The AQ rule set.
+//!
+//! Every rule has a stable ID (`AQ001`..) so findings can be allowlisted
+//! precisely in `lint.toml` and grepped in CI logs. Rules operate on the
+//! token stream from [`crate::lexer`]; they never see the inside of
+//! strings or comments, so prose like "the `Instant` at which an event
+//! fires" cannot trip them.
+//!
+//! Scoping conventions shared by several rules:
+//! - *test code* means a `#[cfg(test)] mod` span inside a crate, or any
+//!   file under a `tests/` directory;
+//! - *hot-path crates* are `sim-core`, `netsim`, `qdisc`, `transport` —
+//!   the per-packet simulation path;
+//! - structural exemptions (bins, benches, the telemetry sink) are coded
+//!   here so `lint.toml` allowlists stay reserved for vendored code.
+
+use crate::config::{glob_match, Config};
+use crate::lexer::{Tok, TokKind};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule ID, e.g. `AQ001`.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation, including the fix direction.
+    pub message: String,
+}
+
+/// Rule metadata, used by `--rules` and the docs test.
+pub struct RuleInfo {
+    /// Stable ID.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line rationale.
+    pub desc: &'static str,
+}
+
+/// Every rule this binary knows, in ID order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "AQ001",
+        name: "wall-clock-read",
+        desc: "std::time::{Instant,SystemTime} break bit-determinism; sim code must use sim-core SimTime",
+    },
+    RuleInfo {
+        id: "AQ002",
+        name: "ambient-randomness",
+        desc: "thread_rng/OsRng/RandomState et al. are nondeterministic; use sim-core SimRng with an explicit seed",
+    },
+    RuleInfo {
+        id: "AQ003",
+        name: "direct-stdio",
+        desc: "println!/eprintln! outside bins, benches, tests and the telemetry sink; route through aequitas-telemetry",
+    },
+    RuleInfo {
+        id: "AQ004",
+        name: "float-exact-compare",
+        desc: "== / != against a float literal is brittle; compare with a tolerance or via to_bits()",
+    },
+    RuleInfo {
+        id: "AQ005",
+        name: "raw-time-arithmetic",
+        desc: "arithmetic on as_ps() values escapes the SimTime/SimDuration newtypes; use their operators/helpers",
+    },
+    RuleInfo {
+        id: "AQ006",
+        name: "naked-unwrap-hot-path",
+        desc: ".unwrap() in hot-path crates hides the invariant; use .expect(\"why this cannot fail\")",
+    },
+    RuleInfo {
+        id: "AQ007",
+        name: "unjustified-lint-allow",
+        desc: "#[allow(clippy::...)] needs a justification comment on the same line or the line above",
+    },
+    RuleInfo {
+        id: "AQ008",
+        name: "unordered-iteration-hazard",
+        desc: "HashMap/HashSet construction needs a `det:` comment arguing iteration order cannot leak into results",
+    },
+    RuleInfo {
+        id: "AQ009",
+        name: "unsafe-code",
+        desc: "the workspace is 100% safe Rust; unsafe blocks need a design discussion, not a commit",
+    },
+    RuleInfo {
+        id: "AQ010",
+        name: "todo-marker",
+        desc: "todo!/unimplemented! in non-test code panics at runtime; finish it or return an error",
+    },
+];
+
+/// Hot-path crates for AQ006.
+const HOT_PATH: &[&str] = &["sim-core", "netsim", "qdisc", "transport"];
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel: &'a str,
+    /// All tokens including comments.
+    pub toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens.
+    pub code: Vec<usize>,
+    /// Line spans (inclusive) of `#[cfg(test)] mod` bodies.
+    pub test_spans: Vec<(u32, u32)>,
+    /// True when the whole file is test code (under `tests/`).
+    pub whole_file_test: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context: filter comments, locate test-mod spans.
+    pub fn new(rel: &'a str, toks: &'a [Tok]) -> Self {
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        // `tests/` directories are integration tests; a `tests.rs` module
+        // file is by convention included via `#[cfg(test)] mod tests;`.
+        let whole_file_test =
+            rel.starts_with("tests/") || rel.contains("/tests/") || rel.ends_with("/tests.rs");
+        let test_spans = find_test_spans(toks, &code);
+        FileCtx {
+            rel,
+            toks,
+            code,
+            test_spans,
+            whole_file_test,
+        }
+    }
+
+    /// Is this line inside test code?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.whole_file_test
+            || self
+                .test_spans
+                .iter()
+                .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Is there a justification comment for `line`: on the line itself, or
+    /// in the contiguous run of comment lines directly above it? A comment
+    /// qualifies when it contains `needle` (any comment if `needle` is
+    /// empty).
+    fn justified(&self, line: u32, needle: &str) -> bool {
+        let comments = |l: u32| {
+            self.toks.iter().filter(move |t| {
+                matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) && t.line == l
+            })
+        };
+        let hit =
+            |l: u32| comments(l).any(|t| needle.is_empty() || t.text.contains(needle));
+        if hit(line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && comments(l).next().is_some() {
+            if hit(l) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// The `i`-th code token.
+    fn c(&self, i: usize) -> &Tok {
+        &self.toks[self.code[i]]
+    }
+}
+
+/// Locate `#[cfg(test)] mod ... { ... }` spans by brace matching.
+fn find_test_spans(toks: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let t = |i: usize| -> &Tok { &toks[code[i]] };
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let is_cfg_test = t(i).text == "#"
+            && t(i + 1).text == "["
+            && t(i + 2).text == "cfg"
+            && t(i + 3).text == "("
+            && t(i + 4).text == "test"
+            && t(i + 5).text == ")"
+            && t(i + 6).text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then expect `mod name {`.
+        let mut j = i + 7;
+        while j + 1 < code.len() && t(j).text == "#" && t(j + 1).text == "[" {
+            // Skip to matching `]`.
+            let mut depth = 0;
+            let mut k = j + 1;
+            while k < code.len() {
+                match t(k).text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        let is_mod = j < code.len() && t(j).text == "mod";
+        if is_mod {
+            // Find the `{` then its match.
+            let mut k = j;
+            while k < code.len() && t(k).text != "{" && t(k).text != ";" {
+                k += 1;
+            }
+            if k < code.len() && t(k).text == "{" {
+                let start_line = t(i).line;
+                let mut depth = 0;
+                let mut m = k;
+                while m < code.len() {
+                    match t(m).text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                let end_line = if m < code.len() {
+                    t(m).line
+                } else {
+                    u32::MAX
+                };
+                spans.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+// Path helpers --------------------------------------------------------------
+
+fn in_crate(rel: &str, name: &str) -> bool {
+    rel.starts_with(&format!("crates/{name}/"))
+}
+
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Structurally exempt from AQ003: code whose job is to produce output.
+fn stdio_exempt(rel: &str) -> bool {
+    in_crate(rel, "experiments")          // figure/sweep drivers print results
+        || in_crate(rel, "telemetry")     // the sanctioned sink itself
+        || in_crate(rel, "lint")          // this binary reports findings
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/src/bin/")
+        || rel.ends_with("/main.rs")
+        || rel.ends_with("build.rs")
+}
+
+/// Run every enabled rule over one file.
+pub fn check_file(cfg: &Config, rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    if cfg
+        .global_allow
+        .iter()
+        .any(|g| glob_match(g, rel))
+    {
+        return;
+    }
+    let ctx = FileCtx::new(rel, toks);
+    let enabled = |id: &str| -> bool {
+        let r = cfg.rule(id);
+        r.enabled && !r.allow.iter().any(|g| glob_match(g, rel))
+    };
+    if enabled("AQ001") {
+        aq001_wall_clock(&ctx, out);
+    }
+    if enabled("AQ002") {
+        aq002_ambient_randomness(&ctx, out);
+    }
+    if enabled("AQ003") {
+        aq003_direct_stdio(&ctx, out);
+    }
+    if enabled("AQ004") {
+        aq004_float_exact_compare(&ctx, out);
+    }
+    if enabled("AQ005") {
+        aq005_raw_time_arith(&ctx, out);
+    }
+    if enabled("AQ006") {
+        aq006_naked_unwrap(&ctx, out);
+    }
+    if enabled("AQ007") {
+        aq007_unjustified_allow(&ctx, out);
+    }
+    if enabled("AQ008") {
+        aq008_unordered_iteration(&ctx, out);
+    }
+    if enabled("AQ009") {
+        aq009_unsafe(&ctx, out);
+    }
+    if enabled("AQ010") {
+        aq010_todo(&ctx, out);
+    }
+}
+
+fn finding(out: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, t: &Tok, msg: String) {
+    out.push(Finding {
+        rule,
+        path: ctx.rel.to_string(),
+        line: t.line,
+        col: t.col,
+        message: msg,
+    });
+}
+
+/// AQ001: `Instant` / `SystemTime` anywhere (even tests must be
+/// deterministic; benchmarks go through vendored criterion, which is
+/// allowlisted wholesale).
+fn aq001_wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            finding(
+                out,
+                "AQ001",
+                ctx,
+                t,
+                format!(
+                    "wall-clock type `{}` on a simulation path; use sim-core SimTime/SimDuration",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// AQ002: ambient randomness sources.
+fn aq002_ambient_randomness(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "from_entropy",
+        "getrandom",
+        "OsRng",
+        "RandomState",
+        "random_seed",
+    ];
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            finding(
+                out,
+                "AQ002",
+                ctx,
+                t,
+                format!(
+                    "ambient randomness `{}`; derive a SimRng from the experiment seed instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// AQ003: `println!`-family outside the sanctioned output layers.
+fn aq003_direct_stdio(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if stdio_exempt(ctx.rel) {
+        return;
+    }
+    const MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+    for w in 0..ctx.code.len().saturating_sub(1) {
+        let (a, b) = (ctx.c(w), ctx.c(w + 1));
+        if a.kind == TokKind::Ident
+            && MACROS.contains(&a.text.as_str())
+            && b.text == "!"
+            && !ctx.in_test(a.line)
+        {
+            finding(
+                out,
+                "AQ003",
+                ctx,
+                a,
+                format!(
+                    "`{}!` bypasses aequitas-telemetry; use telemetry::diag/trace so sinks stay configurable",
+                    a.text
+                ),
+            );
+        }
+    }
+}
+
+/// AQ004: `==` / `!=` with a float-literal operand, in non-test code.
+fn aq004_float_exact_compare(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for w in 0..ctx.code.len().saturating_sub(1) {
+        let (a, b) = (ctx.c(w), ctx.c(w + 1));
+        let is_eq = a.text == "=" && b.text == "=";
+        let is_ne = a.text == "!" && b.text == "=";
+        if !(is_eq || is_ne) || a.kind != TokKind::Punct || b.kind != TokKind::Punct {
+            continue;
+        }
+        // Require byte adjacency so `a = =b` noise (never valid Rust) or a
+        // `!` macro bang far from an `=` cannot pair up.
+        if a.line != b.line || b.col != a.col + 1 {
+            continue;
+        }
+        if ctx.in_test(a.line) {
+            continue;
+        }
+        let prev_float = w > 0 && ctx.c(w - 1).kind == TokKind::Float;
+        let next_float = w + 2 < ctx.code.len() && ctx.c(w + 2).kind == TokKind::Float;
+        if prev_float || next_float {
+            finding(
+                out,
+                "AQ004",
+                ctx,
+                a,
+                "exact float comparison; compare with an explicit tolerance or via f64::to_bits()"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// AQ005: arithmetic directly on `as_ps()` results (outside sim-core,
+/// which implements the newtypes and owns the raw representation).
+fn aq005_raw_time_arith(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if in_crate(ctx.rel, "sim-core") || in_crate(ctx.rel, "lint") {
+        return;
+    }
+    const OPS: &[&str] = &["+", "-", "*", "/", "%"];
+    let n = ctx.code.len();
+    for w in 0..n.saturating_sub(2) {
+        let t = ctx.c(w);
+        if !(t.kind == TokKind::Ident && t.text == "as_ps") {
+            continue;
+        }
+        if !(ctx.c(w + 1).text == "(" && ctx.c(w + 2).text == ")") {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // Skip `as u64` / `as f64` casts after the call.
+        let mut j = w + 3;
+        while j + 1 < n && ctx.c(j).text == "as" && ctx.c(j + 1).kind == TokKind::Ident {
+            j += 2;
+        }
+        if j < n {
+            let op = ctx.c(j);
+            let next_is_assign = j + 1 < n && ctx.c(j + 1).text == "=";
+            if op.kind == TokKind::Punct && OPS.contains(&op.text.as_str()) && !next_is_assign {
+                // `->` return arrows can't follow a call; `-` here is real
+                // arithmetic.
+                finding(
+                    out,
+                    "AQ005",
+                    ctx,
+                    t,
+                    format!(
+                        "raw `{}` on as_ps() picoseconds; use SimTime/SimDuration operators or helpers",
+                        op.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// AQ006: `.unwrap()` in hot-path crates. `.expect("invariant")` is the
+/// sanctioned replacement — the message documents why failure is
+/// impossible, and shows up in a panic backtrace if it ever isn't.
+fn aq006_naked_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let Some(krate) = crate_of(ctx.rel) else {
+        return;
+    };
+    if !HOT_PATH.contains(&krate) {
+        return;
+    }
+    let n = ctx.code.len();
+    for w in 1..n.saturating_sub(2) {
+        let t = ctx.c(w);
+        if t.kind == TokKind::Ident
+            && t.text == "unwrap"
+            && ctx.c(w - 1).text == "."
+            && ctx.c(w + 1).text == "("
+            && ctx.c(w + 2).text == ")"
+            && !ctx.in_test(t.line)
+        {
+            finding(
+                out,
+                "AQ006",
+                ctx,
+                t,
+                "naked .unwrap() on a hot path; use .expect(\"why this cannot fail\")".to_string(),
+            );
+        }
+    }
+}
+
+/// AQ007: `#[allow(clippy::...)]` (or `#![allow]`) without a
+/// justification comment on the same line or the line above.
+fn aq007_unjustified_allow(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let n = ctx.code.len();
+    for w in 0..n.saturating_sub(4) {
+        if ctx.c(w).text != "#" {
+            continue;
+        }
+        let mut j = w + 1;
+        if j < n && ctx.c(j).text == "!" {
+            j += 1;
+        }
+        if !(j + 2 < n && ctx.c(j).text == "[" && ctx.c(j + 1).text == "allow") {
+            continue;
+        }
+        let open = j + 2;
+        if ctx.c(open).text != "(" {
+            continue;
+        }
+        let arg = if open + 1 < n { ctx.c(open + 1) } else { continue };
+        if arg.text != "clippy" {
+            continue;
+        }
+        let t = ctx.c(w);
+        if !ctx.justified(t.line, "") {
+            finding(
+                out,
+                "AQ007",
+                ctx,
+                t,
+                "#[allow(clippy::...)] without a justification comment on this line or the line above"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// AQ008: HashMap/HashSet construction without a `det:` comment arguing
+/// why the map's (per-process random) iteration order cannot reach
+/// simulation results or printed output.
+fn aq008_unordered_iteration(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    const CTORS: &[&str] = &["new", "with_capacity", "default", "from", "from_iter"];
+    let n = ctx.code.len();
+    for w in 0..n.saturating_sub(3) {
+        let t = ctx.c(w);
+        if !(t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")) {
+            continue;
+        }
+        if !(ctx.c(w + 1).text == ":" && ctx.c(w + 2).text == ":") {
+            continue;
+        }
+        let m = ctx.c(w + 3);
+        if !(m.kind == TokKind::Ident && CTORS.contains(&m.text.as_str())) {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if !ctx.justified(t.line, "det:") {
+            finding(
+                out,
+                "AQ008",
+                ctx,
+                t,
+                format!(
+                    "{} construction without a `det:` justification; iteration order is per-process random — \
+                     sort before iterating or use BTreeMap/BTreeSet",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// AQ009: `unsafe` anywhere, tests included.
+fn aq009_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            finding(
+                out,
+                "AQ009",
+                ctx,
+                t,
+                "unsafe code in a 100%-safe workspace; redesign or raise it in DESIGN.md first".to_string(),
+            );
+        }
+    }
+}
+
+/// AQ010: `todo!` / `unimplemented!` in non-test code.
+fn aq010_todo(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for w in 0..ctx.code.len().saturating_sub(1) {
+        let (a, b) = (ctx.c(w), ctx.c(w + 1));
+        if a.kind == TokKind::Ident
+            && (a.text == "todo" || a.text == "unimplemented")
+            && b.text == "!"
+            && !ctx.in_test(a.line)
+        {
+            finding(
+                out,
+                "AQ010",
+                ctx,
+                a,
+                format!("`{}!` will panic at runtime; finish the path or return an error", a.text),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let cfg = Config::default();
+        let toks = tokenize(src);
+        let mut out = Vec::new();
+        check_file(&cfg, rel, &toks, &mut out);
+        out
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn aq001_fires_on_instant_but_not_in_comments_or_strings() {
+        let f = run(
+            "crates/netsim/src/engine.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ001"]);
+        assert_eq!(f[0].line, 1);
+
+        // Doc comments, line comments, strings, raw strings: all clean.
+        let clean = run(
+            "crates/netsim/src/engine.rs",
+            r###"
+/// The `Instant` at which the event fires (SystemTime analogy).
+// Instant::now() would be wrong here.
+fn f() {
+    let s = "Instant::now()";
+    let r = r#"SystemTime::now()"#;
+    let _ = (s, r);
+}
+"###,
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn aq001_fires_even_in_test_mods() {
+        let f = run(
+            "crates/netsim/src/engine.rs",
+            "#[cfg(test)]\nmod tests { fn f() { let _ = Instant::now(); } }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ001"]);
+    }
+
+    #[test]
+    fn aq002_fires_on_thread_rng() {
+        let f = run("crates/core/src/lib.rs", "let mut rng = thread_rng();");
+        assert_eq!(rules_of(&f), vec!["AQ002"]);
+        let clean = run("crates/core/src/lib.rs", "let rng = SimRng::new(seed);");
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn aq003_scoping() {
+        let src = "fn f() { println!(\"x\"); }";
+        assert_eq!(rules_of(&run("crates/core/src/lib.rs", src)), vec!["AQ003"]);
+        // Exempt locations:
+        assert!(run("crates/experiments/src/fig12.rs", src).is_empty());
+        assert!(run("crates/telemetry/src/lib.rs", src).is_empty());
+        assert!(run("crates/core/benches/micro.rs", src).is_empty());
+        assert!(run("crates/experiments/src/bin/aequitas-sim.rs", src).is_empty());
+        assert!(run("tests/integration.rs", src).is_empty());
+        // Test mod inside a library crate:
+        let in_test = "#[cfg(test)]\nmod tests { fn f() { println!(\"x\"); } }";
+        assert!(run("crates/core/src/lib.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn aq004_float_eq() {
+        let f = run("crates/core/src/lib.rs", "if p == 1.0 { }");
+        assert_eq!(rules_of(&f), vec!["AQ004"]);
+        let f = run("crates/core/src/lib.rs", "if 0.5 != x { }");
+        assert_eq!(rules_of(&f), vec!["AQ004"]);
+        // Integers, orderings, and tolerance comparisons are fine.
+        assert!(run("crates/core/src/lib.rs", "if p == 1 { }").is_empty());
+        assert!(run("crates/core/src/lib.rs", "if p <= 1.0 { }").is_empty());
+        assert!(run("crates/core/src/lib.rs", "if (p - 1.0).abs() < 1e-9 { }").is_empty());
+        // Test code may assert exact floats.
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn f() { assert!(p == 1.0); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn aq005_raw_time_arith() {
+        let f = run(
+            "crates/transport/src/swift.rs",
+            "let x = t.as_ps() + d.as_ps();",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ005"]);
+        // Through a cast:
+        let f = run(
+            "crates/transport/src/swift.rs",
+            "let x = (s.as_ps() as f64 * 0.875) as u64;",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ005"]);
+        // Comparisons and method calls on the raw value are fine.
+        assert!(run("crates/transport/src/swift.rs", "if a.as_ps() < b.as_ps() { }").is_empty());
+        assert!(run(
+            "crates/transport/src/swift.rs",
+            "let x = a.as_ps().saturating_mul(2);"
+        )
+        .is_empty());
+        // sim-core implements the newtypes; raw arithmetic is its job.
+        assert!(run("crates/sim-core/src/time.rs", "let x = t.as_ps() + 1;").is_empty());
+    }
+
+    #[test]
+    fn aq006_naked_unwrap_scoped_to_hot_path() {
+        let src = "fn f() { q.pop().unwrap(); }";
+        assert_eq!(rules_of(&run("crates/netsim/src/port.rs", src)), vec!["AQ006"]);
+        assert_eq!(rules_of(&run("crates/qdisc/src/wfq.rs", src)), vec!["AQ006"]);
+        // expect() with a message is the sanctioned form.
+        assert!(run(
+            "crates/netsim/src/port.rs",
+            "fn f() { q.pop().expect(\"kicked only when backlogged\"); }"
+        )
+        .is_empty());
+        // Cold crates and tests may unwrap.
+        assert!(run("crates/experiments/src/lib.rs", src).is_empty());
+        assert!(run(
+            "crates/netsim/src/port.rs",
+            "#[cfg(test)]\nmod t { fn f() { q.pop().unwrap(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn aq007_allow_needs_comment() {
+        let f = run(
+            "crates/core/src/lib.rs",
+            "#[allow(clippy::too_many_arguments)]\nfn f() {}",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ007"]);
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "// the builder mirrors the paper's parameter table\n#[allow(clippy::too_many_arguments)]\nfn f() {}"
+        )
+        .is_empty());
+        // Non-clippy allows (e.g. dead_code during staging) are clippy-free.
+        assert!(run("crates/core/src/lib.rs", "#[allow(dead_code)]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn aq008_hash_construction_needs_det_comment() {
+        let f = run(
+            "crates/core/src/quota.rs",
+            "let m: HashMap<u64, f64> = HashMap::new();",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ008"]);
+        assert!(run(
+            "crates/core/src/quota.rs",
+            "// det: keyed access only, never iterated\nlet m: HashMap<u64, f64> = HashMap::new();"
+        )
+        .is_empty());
+        // Type annotations alone (no construction) do not fire.
+        assert!(run("crates/core/src/quota.rs", "fn f(m: &HashMap<u64, f64>) {}").is_empty());
+    }
+
+    #[test]
+    fn aq009_and_aq010() {
+        assert_eq!(
+            rules_of(&run("crates/core/src/lib.rs", "unsafe { std::hint::unreachable_unchecked() }")),
+            vec!["AQ009"]
+        );
+        assert_eq!(
+            rules_of(&run("crates/core/src/lib.rs", "fn f() { todo!() }")),
+            vec!["AQ010"]
+        );
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn f() { todo!() } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn config_allowlists_and_disables() {
+        let cfg = Config::parse(
+            "[global]\nallow = [\"vendor/**\"]\n[AQ001]\nallow = [\"crates/bench/**\"]\n[AQ009]\nenabled = false\n",
+        )
+        .unwrap();
+        let check = |rel: &str, src: &str| -> Vec<Finding> {
+            let toks = tokenize(src);
+            let mut out = Vec::new();
+            check_file(&cfg, rel, &toks, &mut out);
+            out
+        };
+        // Global allow silences everything in vendor.
+        assert!(check("vendor/criterion/src/lib.rs", "let t = Instant::now(); unsafe {}").is_empty());
+        // Per-rule allow silences only that rule.
+        assert!(check("crates/bench/src/lib.rs", "let t = Instant::now();").is_empty());
+        assert_eq!(
+            rules_of(&check("crates/bench/src/lib.rs", "unsafe {}")),
+            Vec::<&str>::new(),
+            "AQ009 disabled globally"
+        );
+        assert_eq!(
+            rules_of(&check("crates/core/src/lib.rs", "let t = Instant::now();")),
+            vec!["AQ001"]
+        );
+    }
+
+    #[test]
+    fn test_span_detection_handles_nested_braces() {
+        let src = r#"
+fn prod() { let x = 1.0; if x == 1.0 {} }
+#[cfg(test)]
+mod tests {
+    fn deep() { if a { if b { assert!(x == 1.0); } } }
+}
+fn prod2() { if y == 2.0 {} }
+"#;
+        let f = run("crates/core/src/lib.rs", src);
+        // Only the two non-test comparisons fire.
+        assert_eq!(rules_of(&f), vec!["AQ004", "AQ004"]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 7);
+    }
+}

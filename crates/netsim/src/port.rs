@@ -72,12 +72,28 @@ enum Sched {
     Pifo(PifoQueue<Packet>),
 }
 
+/// Conservation ledger (`--features simsan` only): every packet/byte the
+/// scheduler accepted must either still be queued, have been dequeued for
+/// transmission, or have been evicted by a PIFO push.
+#[cfg(feature = "simsan")]
+#[derive(Default)]
+struct PortSan {
+    in_pkts: u64,
+    in_bytes: u64,
+    out_pkts: u64,
+    out_bytes: u64,
+    evicted_pkts: u64,
+    evicted_bytes: u64,
+}
+
 /// An egress port: scheduler, byte counters, and the in-flight transmission.
 pub(crate) struct Port {
     sched: Sched,
     /// Packet currently being serialized onto the wire, if any.
     pub(crate) in_flight: Option<Packet>,
     pub(crate) stats: PortStats,
+    #[cfg(feature = "simsan")]
+    san: PortSan,
 }
 
 impl Port {
@@ -105,7 +121,55 @@ impl Port {
             sched,
             in_flight: None,
             stats: PortStats::new(classes),
+            #[cfg(feature = "simsan")]
+            san: PortSan::default(),
         }
+    }
+
+    /// Corruption hook for the simsan fixture tests: record an arrival on
+    /// the ledger without giving the scheduler a packet.
+    #[cfg(any(test, feature = "simsan"))]
+    #[doc(hidden)]
+    // Only called from fixture tests; unused in a plain `--features simsan`
+    // library build.
+    #[allow(dead_code)]
+    pub(crate) fn simsan_phantom_arrival(&mut self, bytes: u64) {
+        #[cfg(feature = "simsan")]
+        {
+            self.san.in_pkts += 1;
+            self.san.in_bytes += bytes;
+        }
+        #[cfg(not(feature = "simsan"))]
+        let _ = bytes;
+    }
+
+    /// Assert packet and byte conservation against the scheduler's actual
+    /// backlog. Called after every enqueue and dequeue.
+    #[cfg(feature = "simsan")]
+    fn san_check_conservation(&self) {
+        let queued_pkts: u64 = (0..self.stats.tx_packets.len())
+            .map(|c| self.class_backlog_packets(c) as u64)
+            .sum();
+        let s = &self.san;
+        assert!(
+            s.in_pkts == s.out_pkts + s.evicted_pkts + queued_pkts,
+            "simsan[port]: packet conservation violated: {} accepted != {} dequeued \
+             + {} evicted + {} queued",
+            s.in_pkts,
+            s.out_pkts,
+            s.evicted_pkts,
+            queued_pkts,
+        );
+        let queued_bytes = self.backlog_bytes();
+        assert!(
+            s.in_bytes == s.out_bytes + s.evicted_bytes + queued_bytes,
+            "simsan[port]: byte conservation violated: {} accepted != {} dequeued \
+             + {} evicted + {} queued",
+            s.in_bytes,
+            s.out_bytes,
+            s.evicted_bytes,
+            queued_bytes,
+        );
     }
 
     /// Enqueue a packet; returns false (and counts the drop) if it was
@@ -123,12 +187,22 @@ impl Port {
                 PifoPush::Evicted(_, _, victim) => {
                     let vclass = victim.class().min(self.stats.drops.len() - 1);
                     self.stats.drops[vclass] += 1;
+                    #[cfg(feature = "simsan")]
+                    {
+                        self.san.evicted_pkts += 1;
+                        self.san.evicted_bytes += victim.size_bytes as u64;
+                    }
                     true
                 }
                 PifoPush::Rejected(_) => false,
             },
         };
         if ok {
+            #[cfg(feature = "simsan")]
+            {
+                self.san.in_pkts += 1;
+                self.san.in_bytes += bytes as u64;
+            }
             let depth = self.class_backlog_packets(class) as u64;
             if depth > self.stats.max_class_depth_pkts[class] {
                 self.stats.max_class_depth_pkts[class] = depth;
@@ -140,6 +214,8 @@ impl Port {
         } else {
             self.stats.drops[class] += 1;
         }
+        #[cfg(feature = "simsan")]
+        self.san_check_conservation();
         ok
     }
 
@@ -166,6 +242,12 @@ impl Port {
         let class = class.min(self.stats.tx_packets.len() - 1);
         self.stats.tx_packets[class] += 1;
         self.stats.tx_bytes[class] += bytes as u64;
+        #[cfg(feature = "simsan")]
+        {
+            self.san.out_pkts += 1;
+            self.san.out_bytes += bytes as u64;
+            self.san_check_conservation();
+        }
         Some(pkt)
     }
 
@@ -204,5 +286,57 @@ impl Port {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, PacketKind};
+    use crate::topology::HostId;
+    use aequitas_sim_core::SimTime;
+
+    fn pkt(id: u64, bytes: u32) -> Packet {
+        Packet {
+            id,
+            flow: FlowKey {
+                src: HostId(0),
+                dst: HostId(1),
+                class: 0,
+            },
+            size_bytes: bytes,
+            kind: PacketKind::Data {
+                msg_id: 0,
+                seq: 0,
+                is_last: true,
+            },
+            sent_at: SimTime::ZERO,
+            rank: 0,
+        }
+    }
+
+    /// Fixture: a port whose ledger claims an arrival the scheduler never
+    /// saw, so the next enqueue breaks conservation.
+    fn leaky_port() -> Port {
+        let mut port = Port::new(&SchedulerKind::Fifo(1), None, 1);
+        assert!(port.enqueue(pkt(1, 1000)));
+        port.simsan_phantom_arrival(500);
+        port
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[port]")]
+    fn simsan_catches_conservation_violation() {
+        let mut port = leaky_port();
+        port.enqueue(pkt(2, 1000));
+    }
+
+    #[cfg(not(feature = "simsan"))]
+    #[test]
+    fn without_simsan_conservation_violation_is_silent() {
+        let mut port = leaky_port();
+        assert!(port.enqueue(pkt(2, 1000)));
+        assert_eq!(port.dequeue().map(|p| p.id), Some(1));
     }
 }

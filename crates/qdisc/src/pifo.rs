@@ -95,6 +95,7 @@ impl<T> PifoQueue<T> {
         PifoQueue {
             min_heap: BinaryHeap::new(),
             max_heap: BinaryHeap::new(),
+            // det: lazy-deletion tombstones; membership tests only, never iterated
             dead: std::collections::HashSet::new(),
             next_seq: 0,
             bytes: 0,

@@ -21,6 +21,24 @@ struct Queued<T> {
     item: T,
 }
 
+/// Sanitizer state for the SCFQ invariants (`--features simsan` only):
+/// virtual-time monotonicity and the pairwise fairness bound. Service is
+/// tracked normalized (bytes/weight); each class snapshots the full
+/// service vector when it becomes backlogged so any pair's gap can be
+/// measured over the interval where both were continuously backlogged.
+#[cfg(feature = "simsan")]
+#[derive(Default)]
+struct WfqSan {
+    /// Orders backlog-start events across classes.
+    seq: u64,
+    /// Cumulative normalized service per class.
+    norm: Vec<f64>,
+    /// Largest packet seen per class (the `L_max` of the SCFQ bound).
+    max_bytes: Vec<u32>,
+    /// Per class: (backlog-start seq, service vector at that moment).
+    snap: Vec<Option<(u64, Vec<f64>)>>,
+}
+
 /// A weighted fair queuing scheduler (SCFQ virtual-time variant).
 pub struct WfqScheduler<T> {
     weights: Vec<f64>,
@@ -35,6 +53,8 @@ pub struct WfqScheduler<T> {
     /// congestion control fabric queues are near-empty, so one backlogged
     /// class at a time is the common case.
     backlogged: u64,
+    #[cfg(feature = "simsan")]
+    san: WfqSan,
 }
 
 impl<T> WfqScheduler<T> {
@@ -57,6 +77,54 @@ impl<T> WfqScheduler<T> {
             virtual_time: 0.0,
             buffer: BufferAccounting::new(capacity_bytes),
             backlogged: 0,
+            #[cfg(feature = "simsan")]
+            san: WfqSan {
+                seq: 0,
+                norm: vec![0.0; weights.len()],
+                max_bytes: vec![0; weights.len()],
+                snap: vec![None; weights.len()],
+            },
+        }
+    }
+
+    /// Corruption hook for the simsan fixture tests: force the virtual
+    /// clock past every queued finish tag.
+    #[cfg(any(test, feature = "simsan"))]
+    #[doc(hidden)]
+    pub fn simsan_set_virtual_time(&mut self, vt: f64) {
+        self.virtual_time = vt;
+    }
+
+    /// SCFQ fairness check: for every pair of classes that has stayed
+    /// backlogged since the later of their backlog-start instants, the
+    /// normalized service gap over that interval must stay within
+    /// `L_a/w_a + L_b/w_b` (Golestani's bound; the paper's §4 delay
+    /// analysis builds on it).
+    #[cfg(feature = "simsan")]
+    fn san_check_fairness(&mut self, served_class: usize, served_bytes: u32) {
+        self.san.norm[served_class] += served_bytes as f64 / self.weights[served_class];
+        let backlogged: Vec<usize> = (0..self.queues.len())
+            .filter(|&c| !self.queues[c].is_empty())
+            .collect();
+        for (i, &a) in backlogged.iter().enumerate() {
+            for &b in &backlogged[i + 1..] {
+                let (Some((qa, va)), Some((qb, vb))) = (&self.san.snap[a], &self.san.snap[b])
+                else {
+                    continue;
+                };
+                // Measure from the later backlog start: both classes have
+                // been continuously backlogged since then.
+                let base = if qa >= qb { va } else { vb };
+                let ga = self.san.norm[a] - base[a];
+                let gb = self.san.norm[b] - base[b];
+                let bound = self.san.max_bytes[a] as f64 / self.weights[a]
+                    + self.san.max_bytes[b] as f64 / self.weights[b];
+                assert!(
+                    (ga - gb).abs() <= bound + 1e-6,
+                    "simsan[wfq]: normalized service gap |{ga} - {gb}| between classes \
+                     {a} and {b} exceeds the SCFQ bound {bound}"
+                );
+            }
         }
     }
 
@@ -118,6 +186,16 @@ impl<T> Scheduler<T> for WfqScheduler<T> {
         if self.mask_usable() {
             self.backlogged |= 1u64 << class;
         }
+        #[cfg(feature = "simsan")]
+        {
+            if self.queues[class].len() == 1 {
+                // Class transitioned empty -> backlogged: start a fairness
+                // measurement interval.
+                self.san.snap[class] = Some((self.san.seq, self.san.norm.clone()));
+                self.san.seq += 1;
+            }
+            self.san.max_bytes[class] = self.san.max_bytes[class].max(bytes);
+        }
         Ok(())
     }
 
@@ -164,9 +242,21 @@ impl<T> Scheduler<T> for WfqScheduler<T> {
         if self.mask_usable() && self.queues[class].is_empty() {
             self.backlogged &= !(1u64 << class);
         }
+        // SCFQ invariant: every queued tag was assigned as max(V, F_last) +
+        // service, and V only ever advances to served (minimum) tags — so no
+        // dequeued tag may lie behind the current virtual time.
+        #[cfg(feature = "simsan")]
+        assert!(
+            pkt.finish_tag >= self.virtual_time,
+            "simsan[wfq]: dequeued finish tag {} behind virtual time {} (class {class})",
+            pkt.finish_tag,
+            self.virtual_time,
+        );
         self.virtual_time = pkt.finish_tag;
         self.class_bytes[class] -= pkt.bytes as u64;
         self.buffer.release(pkt.bytes);
+        #[cfg(feature = "simsan")]
+        self.san_check_fairness(class, pkt.bytes);
         if self.buffer.packets() == 0 {
             self.reset_clock();
         }
@@ -207,6 +297,31 @@ mod tests {
     /// order.
     fn drain<T>(s: &mut WfqScheduler<T>) -> Vec<(usize, u32)> {
         std::iter::from_fn(|| s.dequeue().map(|d| (d.class, d.bytes))).collect()
+    }
+
+    /// Fixture: a deliberately-broken scheduler whose virtual clock was
+    /// forced past every queued finish tag, so the next dequeue violates
+    /// virtual-time monotonicity.
+    fn corrupted_clock_wfq() -> WfqScheduler<u32> {
+        let mut s = WfqScheduler::new(&[1.0, 1.0], None);
+        s.enqueue(0, 100, 7).unwrap();
+        s.simsan_set_virtual_time(1e12);
+        s
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[wfq]")]
+    fn simsan_catches_non_monotonic_virtual_time() {
+        let mut s = corrupted_clock_wfq();
+        let _ = s.dequeue();
+    }
+
+    #[cfg(not(feature = "simsan"))]
+    #[test]
+    fn without_simsan_non_monotonic_virtual_time_is_silent() {
+        let mut s = corrupted_clock_wfq();
+        assert_eq!(s.dequeue().map(|d| d.item), Some(7));
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl RpcCompletion {
 
     /// RNL divided by size in MTUs (the paper's normalized latency).
     pub fn rnl_per_mtu(&self) -> SimDuration {
-        SimDuration::from_ps(self.rnl().as_ps() / size_in_mtus(self.size_bytes))
+        self.rnl() / size_in_mtus(self.size_bytes)
     }
 }
 
@@ -481,7 +481,7 @@ impl RpcStack {
                     m.hist_record(
                         "rpc.rnl_per_mtu_ns",
                         l.clone(),
-                        completion.rnl_per_mtu().as_ps() / 1_000,
+                        completion.rnl_per_mtu().as_ns(),
                     );
                     m.counter_add("rpc.completed", l, 1);
                 });

@@ -158,7 +158,7 @@ impl<E> Calendar<E> {
             if bucket_of(top.time) >= horizon {
                 break;
             }
-            let e = self.overflow.pop().unwrap();
+            let e = self.overflow.pop().expect("peek above proved non-empty");
             self.push_ring(e.time, e.seq, e.event);
         }
     }
@@ -317,38 +317,51 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event and advance the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        match &mut self.backend {
-            Backend::Heap(heap) => heap.pop().map(|entry| {
-                self.now = entry.time;
-                ScheduledEvent {
-                    time: entry.time,
-                    seq: entry.seq,
-                    event: entry.event,
-                }
-            }),
-            Backend::Calendar(cal) => cal.pop().map(|(time, seq, event)| {
-                self.now = time;
-                ScheduledEvent { time, seq, event }
-            }),
-        }
+        let popped = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|e| (e.time, e.seq, e.event)),
+            Backend::Calendar(cal) => cal.pop(),
+        };
+        popped.map(|(time, seq, event)| {
+            self.advance_clock(time);
+            ScheduledEvent { time, seq, event }
+        })
+    }
+
+    /// Advance the clock to the timestamp of a popped event. Under
+    /// `simsan` this asserts pop-order monotonicity — the property both
+    /// backends (heap ordering, calendar bucket binning) must deliver and
+    /// that `schedule`'s not-into-the-past check alone cannot guarantee.
+    #[inline]
+    fn advance_clock(&mut self, t: SimTime) {
+        #[cfg(feature = "simsan")]
+        assert!(
+            t >= self.now,
+            "simsan[event-queue]: popped event at {t} behind the clock {} ({:?} backend)",
+            self.now,
+            self.kind(),
+        );
+        self.now = t;
+    }
+
+    /// Force the clock without popping — a corruption hook for the simsan
+    /// fixture tests (proves the monotonicity check actually fires).
+    #[cfg(any(test, feature = "simsan"))]
+    #[doc(hidden)]
+    pub fn simsan_force_now(&mut self, t: SimTime) {
+        self.now = t;
     }
 
     /// Pop the next event only if it fires at or before `end`; advances the
     /// clock on success. One bucket/heap probe instead of a separate
     /// `peek_time` + `pop` pair — the shape of a bounded `run_until` loop.
     pub fn pop_if_at_or_before(&mut self, end: SimTime) -> Option<ScheduledEvent<E>> {
-        match &mut self.backend {
+        let popped = match &mut self.backend {
             Backend::Heap(heap) => {
                 if heap.peek().map(|e| e.time > end).unwrap_or(true) {
                     return None;
                 }
-                let entry = heap.pop().unwrap();
-                self.now = entry.time;
-                Some(ScheduledEvent {
-                    time: entry.time,
-                    seq: entry.seq,
-                    event: entry.event,
-                })
+                let entry = heap.pop().expect("peek above proved non-empty");
+                (entry.time, entry.seq, entry.event)
             }
             Backend::Calendar(cal) => {
                 if cal.peek_time().map(|t| t > end).unwrap_or(true) {
@@ -356,11 +369,12 @@ impl<E> EventQueue<E> {
                 }
                 // `advance` already positioned the cursor; pop re-finds the
                 // min within the (cache-hot) current bucket.
-                let (time, seq, event) = cal.pop().unwrap();
-                self.now = time;
-                Some(ScheduledEvent { time, seq, event })
+                cal.pop().expect("peek_time above proved non-empty")
             }
-        }
+        };
+        let (time, seq, event) = popped;
+        self.advance_clock(time);
+        Some(ScheduledEvent { time, seq, event })
     }
 
     /// Timestamp of the next event without popping it.
@@ -568,6 +582,41 @@ mod tests {
                 }
             }
             prop_assert_eq!(cal.len(), heap.len());
+        }
+    }
+
+    // --- simsan fixture tests -------------------------------------------
+    // The corruption hook plants a clock ahead of queued events; popping
+    // must panic under the sanitizer and stay silent without it, proving
+    // the check (a) fires and (b) costs nothing when off.
+
+    fn corrupted_clock_queue(kind: QueueKind) -> EventQueue<u32> {
+        let mut q = EventQueue::with_kind(kind);
+        q.schedule(SimTime::from_us(1), 7);
+        q.simsan_force_now(SimTime::from_us(5));
+        q
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[event-queue]")]
+    fn simsan_catches_non_monotonic_pop_heap() {
+        corrupted_clock_queue(QueueKind::Heap).pop();
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[event-queue]")]
+    fn simsan_catches_non_monotonic_pop_calendar() {
+        corrupted_clock_queue(QueueKind::Calendar).pop();
+    }
+
+    #[cfg(not(feature = "simsan"))]
+    #[test]
+    fn without_simsan_non_monotonic_pop_is_silent() {
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let ev = corrupted_clock_queue(kind).pop();
+            assert_eq!(ev.map(|e| e.event), Some(7));
         }
     }
 }

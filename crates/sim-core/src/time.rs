@@ -86,6 +86,17 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Snap down to the start of the period containing `self` (periods
+    /// tile the timeline from t=0). Panics if `period` is zero.
+    pub fn align_down(self, period: SimDuration) -> SimTime {
+        SimTime(self.0 / period.0 * period.0)
+    }
+
+    /// Offset of `self` within its period (`self - self.align_down(period)`).
+    pub fn phase_in(self, period: SimDuration) -> SimDuration {
+        SimDuration(self.0 % period.0)
+    }
 }
 
 impl SimDuration {
@@ -153,6 +164,27 @@ impl SimDuration {
     /// Saturating subtraction.
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// This duration as whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// The dimensionless ratio `self / denom`. Panics (in debug) on a
+    /// zero denominator.
+    pub fn ratio(self, denom: SimDuration) -> f64 {
+        debug_assert!(denom.0 != 0, "ratio() with zero denominator");
+        self.0 as f64 / denom.0 as f64
+    }
+
+    /// Exponentially weighted moving average step toward `sample`:
+    /// `(1 - alpha)·self + alpha·sample`. Computed as a single float
+    /// expression and truncated, so smoothing loops (e.g. an RTT EWMA)
+    /// stay bit-stable across refactors of the call site.
+    pub fn ewma_toward(self, sample: SimDuration, alpha: f64) -> SimDuration {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        SimDuration((self.0 as f64 * (1.0 - alpha) + sample.0 as f64 * alpha) as u64)
     }
 }
 

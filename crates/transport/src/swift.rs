@@ -66,9 +66,7 @@ impl SwiftCc {
             None => rtt,
         });
         self.srtt = Some(match self.srtt {
-            Some(s) => SimDuration::from_ps(
-                (s.as_ps() as f64 * 0.875 + rtt.as_ps() as f64 * 0.125) as u64,
-            ),
+            Some(s) => s.ewma_toward(rtt, 0.125),
             None => rtt,
         });
         if !config.cc_enabled {
@@ -86,20 +84,46 @@ impl SwiftCc {
             // Multiplicative decrease, at most once per RTT.
             let srtt = self.srtt(config);
             if now.saturating_since(self.last_decrease) >= srtt {
-                let over = (rtt.as_ps() - target.as_ps()) as f64 / rtt.as_ps() as f64;
+                let over = (rtt - target).ratio(rtt);
                 let factor = (1.0 - config.md_beta * over).max(1.0 - config.max_mdf);
                 self.cwnd *= factor;
                 self.last_decrease = now;
             }
         }
         self.cwnd = self.cwnd.clamp(config.min_cwnd, config.max_cwnd);
+        #[cfg(feature = "simsan")]
+        self.san_check_cwnd(config);
     }
 
     /// On a retransmission timeout, collapse the window.
     pub fn on_timeout(&mut self, config: &TransportConfig) {
         if config.cc_enabled {
             self.cwnd = (self.cwnd * (1.0 - config.max_mdf)).max(config.min_cwnd);
+            #[cfg(feature = "simsan")]
+            self.san_check_cwnd(config);
         }
+    }
+
+    /// Corruption hook for the simsan fixture tests: force the window to an
+    /// out-of-bounds value.
+    #[cfg(any(test, feature = "simsan"))]
+    #[doc(hidden)]
+    pub fn simsan_force_cwnd(&mut self, cwnd: f64) {
+        self.cwnd = cwnd;
+    }
+
+    /// The window must stay finite and within the configured
+    /// `[min_cwnd, max_cwnd]` band after every adjustment (Swift clamps on
+    /// both sides; a NaN here would silently freeze pacing).
+    #[cfg(feature = "simsan")]
+    fn san_check_cwnd(&self, config: &TransportConfig) {
+        assert!(
+            self.cwnd.is_finite() && (config.min_cwnd..=config.max_cwnd).contains(&self.cwnd),
+            "simsan[swift]: cwnd {} outside [{}, {}]",
+            self.cwnd,
+            config.min_cwnd,
+            config.max_cwnd,
+        );
     }
 
     /// Pacing gap between single packets when the window is below 1.0:
@@ -226,5 +250,32 @@ mod tests {
         let w0 = cc.cwnd();
         cc.on_timeout(&c);
         assert!(cc.cwnd() < w0);
+    }
+
+    /// Fixture: a connection whose window was corrupted to NaN, which
+    /// propagates through the AIMD arithmetic and survives the clamp.
+    fn corrupted_cwnd_cc(c: &TransportConfig) -> SwiftCc {
+        let mut cc = SwiftCc::new(c);
+        cc.on_ack(us(5), SimTime::from_us(1), c);
+        cc.simsan_force_cwnd(f64::NAN);
+        cc
+    }
+
+    #[cfg(feature = "simsan")]
+    #[test]
+    #[should_panic(expected = "simsan[swift]")]
+    fn simsan_catches_out_of_bounds_cwnd() {
+        let c = cfg();
+        let mut cc = corrupted_cwnd_cc(&c);
+        cc.on_ack(us(5), SimTime::from_us(2), &c);
+    }
+
+    #[cfg(not(feature = "simsan"))]
+    #[test]
+    fn without_simsan_out_of_bounds_cwnd_is_silent() {
+        let c = cfg();
+        let mut cc = corrupted_cwnd_cc(&c);
+        cc.on_ack(us(5), SimTime::from_us(2), &c);
+        assert!(cc.cwnd().is_nan());
     }
 }

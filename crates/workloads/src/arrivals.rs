@@ -94,7 +94,7 @@ impl ArrivalState {
                 // Advance by `gap` of *burst time*.
                 let mut remaining = gap;
                 loop {
-                    let period_start = SimTime::from_ps(t.as_ps() / period.as_ps() * period.as_ps());
+                    let period_start = t.align_down(period);
                     let burst_end = period_start + burst_len;
                     let room = burst_end.saturating_since(t);
                     if remaining <= room {
@@ -112,7 +112,7 @@ impl ArrivalState {
 
     /// Snap `t` forward to the nearest instant inside a burst phase.
     fn fold_into_burst(&self, t: SimTime, burst_len: SimDuration, period: SimDuration) -> SimTime {
-        let period_start = SimTime::from_ps(t.as_ps() / period.as_ps() * period.as_ps());
+        let period_start = t.align_down(period);
         let burst_end = period_start + burst_len;
         if t < burst_end {
             t

@@ -1,31 +1,53 @@
 #!/usr/bin/env bash
-# CI gate: release build, tier-1 tests, clippy with warnings denied, and the
-# telemetry trace smoke. The long fig11 invariance test is skipped here for
-# the same reason perf_smoke.sh skips it (it re-runs the fig11 sweep three
-# times); run `cargo test` with no filter for the full suite.
+# CI gate: first-party lint, release build, tier-1 tests, the simsan
+# (simulation sanitizer) test job, a simsan determinism diff, clippy with
+# warnings denied, and the telemetry trace smoke. The long fig11 invariance
+# test is skipped here for the same reason perf_smoke.sh skips it (it
+# re-runs the fig11 sweep three times); run `cargo test` with no filter for
+# the full suite.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== lint (aequitas-lint) =="
+scripts/lint.sh
+
 echo "== build (release) =="
 cargo build --release --offline
 
 echo "== tier-1 tests =="
-# Three known-failing tests predate this gate and are skipped so the gate
-# stays green for new regressions (all fail with byte-identical output
+# Two known-failing tests predate this gate and are skipped so the gate
+# stays green for new regressions (both fail with byte-identical output
 # with or without telemetry wired in):
 #   - pdq_meets_deadlines_at_low_load: PDQ baseline misses its deadline
 #     hit-rate target at low load; needs a pacing-model rework.
-#   - fig12_aequitas_restores_slos: the QoSl-goodput-improves assertion
-#     fails on the quick scale; needs re-tuning of the quick-scale load.
 #   - wfq_implementations_agree: WFQ/DWRR admitted shares diverge beyond
 #     the 0.10 tolerance on the quick-scale run; same re-tuning bucket.
-cargo test -q --offline -- \
-    --skip fig11_is_invariant_under_threads_and_queue_backend \
-    --skip pdq_meets_deadlines_at_low_load \
-    --skip fig12_aequitas_restores_slos \
+SKIPS=(
+    --skip fig11_is_invariant_under_threads_and_queue_backend
+    --skip pdq_meets_deadlines_at_low_load
     --skip wfq_implementations_agree
+)
+cargo test -q --offline -- "${SKIPS[@]}"
+
+echo "== tier-1 tests (simsan) =="
+# Same suite with the simulation sanitizer compiled in: the invariant
+# checks must hold on every test, and the deliberately-broken fixtures
+# flip from silent to should_panic.
+cargo test -q --offline --features simsan -- "${SKIPS[@]}"
+
+echo "== simsan determinism diff =="
+# The sanitizer must observe, never steer: a full-stack run (WFQ fabric,
+# Swift CC, admission control) has to produce byte-identical output with
+# and without the feature. Dev profile: both artifact trees are warm from
+# the test jobs above.
+cargo run -q --offline -p aequitas-experiments --example quickstart \
+    > target/simsan-diff-off.txt
+cargo run -q --offline -p aequitas-experiments --features simsan --example quickstart \
+    > target/simsan-diff-on.txt
+diff target/simsan-diff-off.txt target/simsan-diff-on.txt \
+    || { echo "simsan perturbed simulation results"; exit 1; }
 
 echo "== clippy =="
 cargo clippy -q --offline --all-targets -- -D warnings

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Run the first-party static-analysis pass (aequitas-lint) over the
+# workspace. Rule IDs, rationale, and the lint.toml allowlist format are
+# documented in DESIGN.md ("Correctness tooling").
+#
+# Usage: scripts/lint.sh [--json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --offline -p aequitas-lint -- "$@"
