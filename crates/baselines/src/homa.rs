@@ -51,6 +51,7 @@ pub fn engine_config() -> EngineConfig {
     loss_probability: 0.0,
         loss_seed: 0,
         event_queue: QueueKind::Calendar,
+        faults: None,
     }
 }
 

@@ -78,6 +78,12 @@ impl OutMsg {
             .max(1)
     }
 
+    /// Bytes never transmitted (excludes in-flight segments).
+    pub fn unsent_bytes(&self) -> u64 {
+        self.size_bytes
+            .saturating_sub(self.next_seg as u64 * self.mtu)
+    }
+
     /// Payload bytes of segment `seq`.
     pub fn seg_bytes(&self, seq: u32) -> u32 {
         if seq + 1 < self.total_segs {

@@ -52,4 +52,7 @@ pub mod quota;
 
 pub use controller::{AdmissionController, AequitasConfig, IssueDecision, SloTarget};
 pub use phase1::{AppSpec, Fleet, FleetConfig};
-pub use quota::{Grant, QuotaBucket, QuotaServer, QuotaSpec, TenantId, UsageReport};
+pub use quota::{
+    FallbackConfig, Grant, GrantKeeper, QuotaBucket, QuotaServer, QuotaSpec, TenantId,
+    UsageReport,
+};

@@ -206,6 +206,102 @@ impl QuotaServer {
     }
 }
 
+/// How a host degrades when the quota server is unreachable.
+///
+/// The control plane (reports up, grants down) is best-effort: when the
+/// server misses sync rounds — crashed, partitioned, overloaded — hosts must
+/// neither freeze their last grant forever (the allocation goes stale while
+/// demand shifts) nor drop to zero (guaranteed tenants would lose their
+/// share to an outage they didn't cause). The fallback decays the
+/// last-known grant geometrically per missed round toward a configurable
+/// floor, trading staleness risk against guarantee continuity.
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackConfig {
+    /// Multiplier applied to the remembered rate per missed sync round.
+    pub decay: f64,
+    /// Floor, as a fraction of the last server-issued rate. The decayed
+    /// grant never drops below `floor_frac * last_rate`.
+    pub floor_frac: f64,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig {
+            decay: 0.9,
+            floor_frac: 0.25,
+        }
+    }
+}
+
+/// Host-side grant failover: remembers the last grant the quota server
+/// actually issued and synthesizes decayed grants while the server is
+/// unreachable.
+///
+/// Drive it from the control loop: call [`GrantKeeper::on_grant`] whenever
+/// a real grant arrives and [`GrantKeeper::on_missed_round`] on every sync
+/// tick the server failed to answer. The first real grant after an outage
+/// snaps the rate back to the server's allocation.
+#[derive(Debug, Clone)]
+pub struct GrantKeeper {
+    config: FallbackConfig,
+    last_grant: Option<Grant>,
+    missed_rounds: u32,
+}
+
+impl GrantKeeper {
+    /// New keeper; no grant is synthesized until a first real one arrives.
+    pub fn new(config: FallbackConfig) -> Self {
+        assert!(
+            config.decay > 0.0 && config.decay <= 1.0,
+            "decay must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.floor_frac),
+            "floor_frac must be in [0, 1]"
+        );
+        GrantKeeper {
+            config,
+            last_grant: None,
+            missed_rounds: 0,
+        }
+    }
+
+    /// A real grant arrived: remember it and end any outage.
+    pub fn on_grant(&mut self, grant: Grant) -> Grant {
+        self.last_grant = Some(grant);
+        self.missed_rounds = 0;
+        grant
+    }
+
+    /// The server missed a sync round: return the decayed fallback grant to
+    /// apply, or `None` when no grant was ever received (nothing to fall
+    /// back on — the bucket stays at its initial rate).
+    pub fn on_missed_round(&mut self) -> Option<Grant> {
+        let last = self.last_grant?;
+        self.missed_rounds = self.missed_rounds.saturating_add(1);
+        let decayed = self.config.decay.powi(self.missed_rounds.min(1000) as i32);
+        let frac = decayed.max(self.config.floor_frac);
+        Some(Grant {
+            rate_bps: last.rate_bps * frac,
+        })
+    }
+
+    /// Whether the keeper is currently in outage fallback.
+    pub fn in_outage(&self) -> bool {
+        self.missed_rounds > 0
+    }
+
+    /// Consecutive sync rounds missed so far.
+    pub fn missed_rounds(&self) -> u32 {
+        self.missed_rounds
+    }
+
+    /// The last grant the server actually issued, if any.
+    pub fn last_grant(&self) -> Option<Grant> {
+        self.last_grant
+    }
+}
+
 /// Host-side token bucket enforcing a tenant's granted rate.
 ///
 /// Sized to hold `burst_secs` worth of tokens so short bursts within the
@@ -433,6 +529,46 @@ mod tests {
         assert!(b.available(t0) <= 100_000.0 * 0.01 + 1.0);
         b.set_rate(0.0, t0);
         assert!(!b.try_consume(1, t0));
+    }
+
+    #[test]
+    fn fallback_decays_toward_floor_and_recovers() {
+        let mut k = GrantKeeper::new(FallbackConfig {
+            decay: 0.5,
+            floor_frac: 0.1,
+        });
+        // No grant yet: nothing to fall back on.
+        assert!(k.on_missed_round().is_none());
+        assert!(!k.in_outage());
+
+        k.on_grant(Grant { rate_bps: 1000.0 });
+        assert!(!k.in_outage());
+        // Geometric decay: 500, 250, 125, then the 10% floor binds.
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 500.0);
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 250.0);
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 125.0);
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 100.0);
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 100.0);
+        assert!(k.in_outage());
+        assert_eq!(k.missed_rounds(), 5);
+
+        // Recovery snaps back to the server's allocation.
+        let g = k.on_grant(Grant { rate_bps: 800.0 });
+        assert_eq!(g.rate_bps, 800.0);
+        assert!(!k.in_outage());
+        assert_eq!(k.on_missed_round().unwrap().rate_bps, 400.0);
+    }
+
+    #[test]
+    fn fallback_decay_one_freezes_last_grant() {
+        let mut k = GrantKeeper::new(FallbackConfig {
+            decay: 1.0,
+            floor_frac: 0.0,
+        });
+        k.on_grant(Grant { rate_bps: 42.0 });
+        for _ in 0..10 {
+            assert_eq!(k.on_missed_round().unwrap().rate_bps, 42.0);
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! the sampled metric time-series as CSV. `--sample-us N` sets the
 //! simulated-time sampling cadence (default 10us). See the "Observability"
 //! section of DESIGN.md for the event taxonomy.
+//!
+//! `--faults PLAN.toml` loads a deterministic fault plan (link flaps,
+//! loss, corruption, jitter, quota-server outages — see the "Fault model"
+//! section of README.md for the schema) and injects it into every engine
+//! the chosen experiment builds.
 
 use aequitas_experiments::harness::Scale;
 use aequitas_experiments::*;
@@ -159,6 +164,16 @@ fn entries() -> Vec<Entry> {
             run: |s| ext::print_core_overload(&ext::core_overload(s)),
         },
         Entry {
+            name: "chaos-flap",
+            about: "chaos: uplink flap -> bounded blast radius, re-admission",
+            run: |s| chaos::print_link_flap(&chaos::link_flap(s)),
+        },
+        Entry {
+            name: "chaos-quota",
+            about: "chaos: quota-server outage -> decayed-grant fallback",
+            run: |s| chaos::print_quota_outage(&chaos::quota_outage(s)),
+        },
+        Entry {
             name: "ablations",
             about: "design-choice ablations (MD scaling, window, drop, floor)",
             run: |s| {
@@ -174,10 +189,11 @@ fn entries() -> Vec<Entry> {
 fn usage() -> ! {
     eprintln!(
         "usage: aequitas-sim <list | run <name|all>> [--full] \
-         [--trace PATH] [--metrics PATH] [--sample-us N]"
+         [--trace PATH] [--metrics PATH] [--sample-us N] [--faults PLAN.toml]"
     );
     eprintln!("       aequitas-sim run fig12");
     eprintln!("       aequitas-sim run fig11 --trace out.jsonl --metrics out-metrics.csv");
+    eprintln!("       aequitas-sim run chaos-flap --faults plan.toml");
     eprintln!("       AEQUITAS_FULL=1 aequitas-sim run all");
     std::process::exit(2);
 }
@@ -254,6 +270,22 @@ fn main() {
             "--full" => full = true,
             "--trace" => tel_opts.trace = Some(value_of("--trace")),
             "--metrics" => tel_opts.metrics = Some(value_of("--metrics")),
+            "--faults" => {
+                let path = value_of("--faults");
+                let plan = match aequitas_netsim::faults::FaultPlan::from_toml_file(
+                    std::path::Path::new(&path),
+                ) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("cannot load fault plan {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                if !chaos::install_global_fault_plan(plan) {
+                    eprintln!("--faults given more than once");
+                    usage();
+                }
+            }
             "--sample-us" => {
                 let v = value_of("--sample-us");
                 match v.parse::<u64>() {

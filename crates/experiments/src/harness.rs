@@ -107,7 +107,12 @@ impl MacroSetup {
         self.topo.host_ports[0].link.rate
     }
 
-    fn build(self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
+    fn build(mut self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
+        // A CLI-installed fault plan (--faults) applies to every run that
+        // does not carry a scenario-specific plan of its own.
+        if self.engine.faults.is_none() {
+            self.engine.faults = crate::chaos::global_fault_plan();
+        }
         let n = self.topo.num_hosts();
         assert_eq!(self.workloads.len(), n);
         let line_rate = self.line_rate();

@@ -19,7 +19,9 @@
 //! | [`large`] | Figs. 21, 23 (144-node production sizes, testbed analogue) |
 //! | [`related`] | Fig. 22 (pFabric/QJump/D3/PDQ/Homa comparison) |
 //! | [`production`] | Figs. 3, 4, 5, 24 (overload episode, fleet alignment) |
+//! | [`chaos`] | Fault injection: link flaps, loss, quota-server outages |
 
+pub mod chaos;
 pub mod demo;
 pub mod ext;
 pub mod fairness;

@@ -320,6 +320,7 @@ pub fn fig10(scale: Scale) -> Fig10Result {
             loss_probability: 0.0,
             loss_seed: 0,
             event_queue: QueueKind::Calendar,
+            faults: None,
         };
         let mut agents: Vec<BurstBlaster> = (0..n_senders)
             .map(|_| {

@@ -1,0 +1,597 @@
+//! Deterministic, seeded fault plans for the Aequitas simulator.
+//!
+//! A [`FaultPlan`] describes adverse fabric conditions — link down/up flaps,
+//! per-link Bernoulli and burst packet loss, packet corruption, added latency
+//! jitter, and quota-server unavailability windows. Every decision the plan
+//! makes is a **pure function of `(seed, time, entity)`**: there is no
+//! mutable RNG stream, so the verdict for a given packet on a given link at a
+//! given time does not depend on event ordering, thread count, or how many
+//! other faults fired before it. Two runs with the same seed and plan are
+//! byte-identical, and the `simsan` feature cannot perturb them (lint rule
+//! AQ001: no ambient randomness).
+//!
+//! The plan is consumed by `aequitas-netsim` (links honor fault state,
+//! `PortStats` counts fault drops/corruptions), by the experiments harness
+//! (quota-server outage windows), and is loadable from a TOML subset via
+//! [`FaultPlan::from_toml_str`] (see `scripts/chaos_smoke.sh` and the README
+//! for the schema).
+
+mod toml;
+
+pub use toml::parse_document;
+
+use aequitas_sim_core::{SimDuration, SimTime};
+
+/// A directed link in the simulated fabric, identified by its transmitting
+/// endpoint. Fault rules select links with [`LinkSel`]; the engine queries
+/// with concrete `LinkId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkId {
+    /// The uplink from host `h`'s NIC into the fabric.
+    HostUp(usize),
+    /// A switch egress port (toward a host or another switch).
+    SwitchPort {
+        /// Switch index.
+        switch: usize,
+        /// Egress port index on that switch.
+        port: usize,
+    },
+}
+
+impl LinkId {
+    /// A stable 64-bit key for hashing (pure-function determinism).
+    fn entity_key(self) -> u64 {
+        match self {
+            LinkId::HostUp(h) => 0x4000_0000_0000_0000 | h as u64,
+            LinkId::SwitchPort { switch, port } => {
+                0x8000_0000_0000_0000 | ((switch as u64) << 20) | port as u64
+            }
+        }
+    }
+}
+
+/// Which links a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSel {
+    /// Every link in the fabric.
+    Any,
+    /// One host uplink.
+    HostUp(usize),
+    /// One switch egress port.
+    SwitchPort {
+        /// Switch index.
+        switch: usize,
+        /// Egress port index.
+        port: usize,
+    },
+}
+
+impl LinkSel {
+    /// Does this selector cover `link`?
+    pub fn matches(self, link: LinkId) -> bool {
+        match (self, link) {
+            (LinkSel::Any, _) => true,
+            (LinkSel::HostUp(a), LinkId::HostUp(b)) => a == b,
+            (
+                LinkSel::SwitchPort { switch: s, port: p },
+                LinkId::SwitchPort { switch, port },
+            ) => s == switch && p == port,
+            _ => false,
+        }
+    }
+
+    /// Parse the TOML form: `"any"`, `"host:<h>"`, or `"switch:<s>:<p>"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "any" {
+            return Ok(LinkSel::Any);
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["host", h] => h
+                .parse()
+                .map(LinkSel::HostUp)
+                .map_err(|_| format!("bad host index in link selector {s:?}")),
+            ["switch", sw, p] => {
+                let switch = sw
+                    .parse()
+                    .map_err(|_| format!("bad switch index in link selector {s:?}"))?;
+                let port = p
+                    .parse()
+                    .map_err(|_| format!("bad port index in link selector {s:?}"))?;
+                Ok(LinkSel::SwitchPort { switch, port })
+            }
+            _ => Err(format!(
+                "bad link selector {s:?} (expected \"any\", \"host:<h>\", or \"switch:<s>:<p>\")"
+            )),
+        }
+    }
+}
+
+/// A periodic link down/up flap: the link is down during
+/// `[first_down + k*period, first_down + k*period + down)` for `k < count`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFlap {
+    /// Links this flap applies to.
+    pub link: LinkSel,
+    /// Start of the first down window.
+    pub first_down: SimTime,
+    /// Length of each down window.
+    pub down: SimDuration,
+    /// Distance between successive down-window starts (>= `down`).
+    pub period: SimDuration,
+    /// Number of down windows.
+    pub count: u32,
+}
+
+impl LinkFlap {
+    /// The down window containing `now`, if any.
+    fn window_at(&self, now: SimTime) -> Option<(SimTime, SimTime)> {
+        if self.count == 0 || now < self.first_down {
+            return None;
+        }
+        let period = self.period.max(SimDuration::from_ps(1));
+        let k = now.since(self.first_down).div_duration(period);
+        if k >= self.count as u64 {
+            return None;
+        }
+        let start = self.first_down + period * k;
+        let end = start + self.down;
+        (now >= start && now < end).then_some((start, end))
+    }
+}
+
+/// Elevated loss during deterministically-chosen burst windows.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstLoss {
+    /// Time is bucketed into windows of this length.
+    pub period: SimDuration,
+    /// Fraction of windows (per link) that are bursts, in `[0, 1]`.
+    pub frac: f64,
+    /// Loss probability inside a burst window.
+    pub prob: f64,
+}
+
+/// Per-link packet loss: a base Bernoulli probability plus optional bursts.
+#[derive(Debug, Clone, Copy)]
+pub struct LossRule {
+    /// Links this rule applies to.
+    pub link: LinkSel,
+    /// Baseline per-packet loss probability.
+    pub prob: f64,
+    /// Optional burst elevation.
+    pub burst: Option<BurstLoss>,
+}
+
+/// Per-link packet corruption (the frame is destroyed — the receiver's CRC
+/// would reject it — but it is counted separately from clean loss).
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptRule {
+    /// Links this rule applies to.
+    pub link: LinkSel,
+    /// Per-packet corruption probability.
+    pub prob: f64,
+}
+
+/// Per-link added latency jitter: each packet is delayed by an extra
+/// `uniform[0, max)` drawn from the deterministic hash stream.
+#[derive(Debug, Clone, Copy)]
+pub struct JitterRule {
+    /// Links this rule applies to.
+    pub link: LinkSel,
+    /// Maximum extra propagation delay.
+    pub max: SimDuration,
+}
+
+/// A half-open time window `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Is `now` inside the window?
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
+/// What the fault layer decided for one packet on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Deliver normally.
+    Deliver,
+    /// The packet is lost in transit.
+    Lose,
+    /// The packet is corrupted in transit (dropped, counted separately).
+    Corrupt,
+}
+
+/// A complete, deterministic fault plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the pure-function hash streams.
+    pub seed: u64,
+    /// Link down/up flaps.
+    pub flaps: Vec<LinkFlap>,
+    /// Packet loss rules.
+    pub loss: Vec<LossRule>,
+    /// Packet corruption rules.
+    pub corrupt: Vec<CorruptRule>,
+    /// Latency jitter rules.
+    pub jitter: Vec<JitterRule>,
+    /// Quota-server unavailability windows.
+    pub quota_outages: Vec<Window>,
+}
+
+// Domain-separation salts so the loss, corruption, jitter, and burst streams
+// are mutually independent even on the same (seed, link, packet).
+const SALT_LOSS: u64 = 0x10_55;
+const SALT_CORRUPT: u64 = 0xC0_44;
+const SALT_JITTER: u64 = 0x71_77;
+const SALT_BURST: u64 = 0xB0_57;
+
+/// One round of splitmix64 — the same finalizer `SimRng` seeds with, reused
+/// here as a stateless hash so fault decisions need no mutable stream.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` as a pure function of the inputs.
+fn hash01(seed: u64, salt: u64, rule: usize, entity: u64, x: u64) -> f64 {
+    let h = splitmix64(
+        splitmix64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ splitmix64(entity.wrapping_add(rule as u64))
+            ^ x,
+    );
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// Parse a plan from the fault-plan TOML subset (see the README schema).
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        toml::plan_from_toml(text)
+    }
+
+    /// Load a plan from a TOML file.
+    pub fn from_toml_file(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading fault plan {}: {e}", path.display()))?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Sanity-check probabilities and window shapes; returns `self` for
+    /// chaining. Panics on malformed plans (they are operator input).
+    pub fn validated(self) -> Self {
+        for f in &self.flaps {
+            assert!(f.down <= f.period, "flap down window longer than period");
+        }
+        for l in &self.loss {
+            assert!((0.0..=1.0).contains(&l.prob), "loss prob out of range");
+            if let Some(b) = &l.burst {
+                assert!((0.0..=1.0).contains(&b.frac), "burst frac out of range");
+                assert!((0.0..=1.0).contains(&b.prob), "burst prob out of range");
+                assert!(b.period > SimDuration::ZERO, "burst period must be positive");
+            }
+        }
+        for c in &self.corrupt {
+            assert!((0.0..=1.0).contains(&c.prob), "corrupt prob out of range");
+        }
+        for w in &self.quota_outages {
+            assert!(w.start < w.end, "empty quota outage window");
+        }
+        self
+    }
+
+    /// Does the plan contain any per-packet or per-link fabric faults? Lets
+    /// the engine skip all fault queries on the hot path when false.
+    pub fn affects_fabric(&self) -> bool {
+        !(self.flaps.is_empty()
+            && self.loss.is_empty()
+            && self.corrupt.is_empty()
+            && self.jitter.is_empty())
+    }
+
+    /// Is `link` down at `now`?
+    pub fn link_down(&self, link: LinkId, now: SimTime) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| f.link.matches(link) && f.window_at(now).is_some())
+    }
+
+    /// When the down window covering `now` ends (the latest end across all
+    /// matching flaps, so overlapping flaps coalesce). Returns `now` when the
+    /// link is not down — callers re-check after waking.
+    pub fn link_up_at(&self, link: LinkId, now: SimTime) -> SimTime {
+        let mut up = now;
+        // Chase overlapping/chained windows: a wake at one window's end may
+        // land inside another flap's window.
+        loop {
+            let mut advanced = false;
+            for f in &self.flaps {
+                if f.link.matches(link) {
+                    if let Some((_, end)) = f.window_at(up) {
+                        if end > up {
+                            up = end;
+                            advanced = true;
+                        }
+                    }
+                }
+            }
+            if !advanced {
+                return up;
+            }
+        }
+    }
+
+    /// Decide the fate of packet `pkt_id` crossing `link` at `now`.
+    /// Corruption is evaluated before clean loss so the two counters are
+    /// disjoint.
+    pub fn packet_fate(&self, link: LinkId, pkt_id: u64, now: SimTime) -> PacketFate {
+        let entity = link.entity_key();
+        for (i, c) in self.corrupt.iter().enumerate() {
+            if c.link.matches(link)
+                && c.prob > 0.0
+                && hash01(self.seed, SALT_CORRUPT, i, entity, pkt_id) < c.prob
+            {
+                return PacketFate::Corrupt;
+            }
+        }
+        for (i, l) in self.loss.iter().enumerate() {
+            if !l.link.matches(link) {
+                continue;
+            }
+            let mut prob = l.prob;
+            if let Some(b) = &l.burst {
+                let bucket = now
+                    .since(SimTime::ZERO)
+                    .div_duration(b.period.max(SimDuration::from_ps(1)));
+                if hash01(self.seed, SALT_BURST, i, entity, bucket) < b.frac {
+                    prob = prob.max(b.prob);
+                }
+            }
+            if prob > 0.0 && hash01(self.seed, SALT_LOSS, i, entity, pkt_id) < prob {
+                return PacketFate::Lose;
+            }
+        }
+        PacketFate::Deliver
+    }
+
+    /// Extra propagation delay for packet `pkt_id` crossing `link`.
+    pub fn extra_delay(&self, link: LinkId, pkt_id: u64) -> SimDuration {
+        let entity = link.entity_key();
+        let mut extra = SimDuration::ZERO;
+        for (i, j) in self.jitter.iter().enumerate() {
+            if j.link.matches(link) && j.max > SimDuration::ZERO {
+                extra += j.max.mul_f64(hash01(self.seed, SALT_JITTER, i, entity, pkt_id));
+            }
+        }
+        extra
+    }
+
+    /// Is the quota server unreachable at `now`?
+    pub fn quota_server_down(&self, now: SimTime) -> bool {
+        self.quota_outages.iter().any(|w| w.contains(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_us(v)
+    }
+
+    fn dus(v: u64) -> SimDuration {
+        SimDuration::from_us(v)
+    }
+
+    fn flap_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            flaps: vec![LinkFlap {
+                link: LinkSel::SwitchPort { switch: 0, port: 2 },
+                first_down: us(100),
+                down: dus(50),
+                period: dus(200),
+                count: 2,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn flap_windows_are_periodic_and_bounded() {
+        let p = flap_plan();
+        let l = LinkId::SwitchPort { switch: 0, port: 2 };
+        assert!(!p.link_down(l, us(99)));
+        assert!(p.link_down(l, us(100)));
+        assert!(p.link_down(l, us(149)));
+        assert!(!p.link_down(l, us(150)));
+        assert!(p.link_down(l, us(300))); // second window
+        assert!(!p.link_down(l, us(500))); // count exhausted
+        assert!(!p.link_down(LinkId::HostUp(0), us(120))); // other link
+        assert_eq!(p.link_up_at(l, us(120)), us(150));
+    }
+
+    #[test]
+    fn overlapping_flap_windows_coalesce_for_wakeup() {
+        let mut p = flap_plan();
+        p.flaps.push(LinkFlap {
+            link: LinkSel::Any,
+            first_down: us(140),
+            down: dus(30),
+            period: dus(1000),
+            count: 1,
+        });
+        let l = LinkId::SwitchPort { switch: 0, port: 2 };
+        // First flap ends at 150, second covers [140,170): wake must chase
+        // through to 170.
+        assert_eq!(p.link_up_at(l, us(120)), us(170));
+    }
+
+    #[test]
+    fn loss_rate_matches_probability() {
+        let p = FaultPlan {
+            seed: 42,
+            loss: vec![LossRule {
+                link: LinkSel::Any,
+                prob: 0.3,
+                burst: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let l = LinkId::HostUp(0);
+        let lost = (0..20_000)
+            .filter(|&i| p.packet_fate(l, i, us(1)) == PacketFate::Lose)
+            .count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn fate_is_pure_function_of_inputs() {
+        let p = FaultPlan {
+            seed: 3,
+            loss: vec![LossRule {
+                link: LinkSel::Any,
+                prob: 0.5,
+                burst: Some(BurstLoss {
+                    period: dus(10),
+                    frac: 0.5,
+                    prob: 0.9,
+                }),
+            }],
+            jitter: vec![JitterRule {
+                link: LinkSel::Any,
+                max: dus(2),
+            }],
+            ..FaultPlan::default()
+        };
+        let l = LinkId::SwitchPort { switch: 1, port: 3 };
+        for pkt in 0..100u64 {
+            // Same inputs, same answers — regardless of query order.
+            assert_eq!(p.packet_fate(l, pkt, us(5)), p.packet_fate(l, pkt, us(5)));
+            assert_eq!(p.extra_delay(l, pkt), p.extra_delay(l, pkt));
+        }
+        // Different seed decorrelates.
+        let p2 = FaultPlan { seed: 4, ..p.clone() };
+        let same = (0..1000u64)
+            .filter(|&i| p.packet_fate(l, i, us(5)) == p2.packet_fate(l, i, us(5)))
+            .count();
+        assert!(same < 1000, "seed change must alter some verdicts");
+    }
+
+    #[test]
+    fn burst_windows_elevate_loss() {
+        let p = FaultPlan {
+            seed: 9,
+            loss: vec![LossRule {
+                link: LinkSel::Any,
+                prob: 0.0,
+                burst: Some(BurstLoss {
+                    period: dus(100),
+                    frac: 0.5,
+                    prob: 1.0,
+                }),
+            }],
+            ..FaultPlan::default()
+        };
+        let l = LinkId::HostUp(1);
+        // Each 100us bucket is either all-loss or no-loss; roughly half the
+        // buckets burst.
+        let mut burst_buckets = 0;
+        for bucket in 0..200u64 {
+            let t = SimTime::from_us(bucket * 100 + 50);
+            let lost = (0..32).filter(|&i| p.packet_fate(l, bucket * 1000 + i, t) == PacketFate::Lose).count();
+            assert!(lost == 0 || lost == 32, "bucket must be uniform, got {lost}/32");
+            if lost == 32 {
+                burst_buckets += 1;
+            }
+        }
+        assert!((40..=160).contains(&burst_buckets), "{burst_buckets} burst buckets");
+    }
+
+    #[test]
+    fn corruption_and_loss_are_distinct_fates() {
+        let p = FaultPlan {
+            seed: 11,
+            loss: vec![LossRule { link: LinkSel::Any, prob: 0.2, burst: None }],
+            corrupt: vec![CorruptRule { link: LinkSel::Any, prob: 0.2 }],
+            ..FaultPlan::default()
+        };
+        let l = LinkId::HostUp(0);
+        let mut lose = 0;
+        let mut corrupt = 0;
+        for i in 0..10_000 {
+            match p.packet_fate(l, i, us(1)) {
+                PacketFate::Lose => lose += 1,
+                PacketFate::Corrupt => corrupt += 1,
+                PacketFate::Deliver => {}
+            }
+        }
+        assert!(lose > 1000 && corrupt > 1000, "lose={lose} corrupt={corrupt}");
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let p = FaultPlan {
+            seed: 5,
+            jitter: vec![JitterRule { link: LinkSel::HostUp(0), max: dus(3) }],
+            ..FaultPlan::default()
+        };
+        for i in 0..1000u64 {
+            let d = p.extra_delay(LinkId::HostUp(0), i);
+            assert!(d < dus(3));
+        }
+        assert_eq!(p.extra_delay(LinkId::HostUp(1), 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quota_outage_windows() {
+        let p = FaultPlan {
+            quota_outages: vec![Window { start: us(10), end: us(20) }],
+            ..FaultPlan::default()
+        };
+        assert!(!p.quota_server_down(us(9)));
+        assert!(p.quota_server_down(us(10)));
+        assert!(p.quota_server_down(us(19)));
+        assert!(!p.quota_server_down(us(20)));
+    }
+
+    #[test]
+    fn link_selector_parsing() {
+        assert_eq!(LinkSel::parse("any").unwrap(), LinkSel::Any);
+        assert_eq!(LinkSel::parse("host:3").unwrap(), LinkSel::HostUp(3));
+        assert_eq!(
+            LinkSel::parse("switch:0:2").unwrap(),
+            LinkSel::SwitchPort { switch: 0, port: 2 }
+        );
+        assert!(LinkSel::parse("spine:1").is_err());
+        assert!(LinkSel::parse("host:x").is_err());
+    }
+
+    proptest! {
+        /// The fate of any packet never depends on the query time except
+        /// through burst buckets (here: no bursts configured).
+        #[test]
+        fn prop_fate_time_invariant_without_bursts(
+            seed in 0u64..1000, pkt in 0u64..100_000, t1 in 0u64..10_000, t2 in 0u64..10_000
+        ) {
+            let p = FaultPlan {
+                seed,
+                loss: vec![LossRule { link: LinkSel::Any, prob: 0.5, burst: None }],
+                ..FaultPlan::default()
+            };
+            let l = LinkId::HostUp(0);
+            prop_assert_eq!(p.packet_fate(l, pkt, us(t1)), p.packet_fate(l, pkt, us(t2)));
+        }
+    }
+}

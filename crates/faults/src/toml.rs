@@ -1,0 +1,402 @@
+//! A minimal TOML-subset parser for fault plans.
+//!
+//! The workspace is fully offline (no external crates), so fault plans are
+//! written in a restricted TOML dialect this module parses directly:
+//!
+//! * top-level `key = value` pairs,
+//! * `[[table]]` array-of-tables headers,
+//! * values: quoted strings, integers, floats, booleans,
+//! * `#` comments and blank lines.
+//!
+//! Unknown keys and tables are **errors**, not warnings — a typo in a chaos
+//! plan silently disabling a fault would invalidate an experiment.
+
+use crate::{
+    BurstLoss, CorruptRule, FaultPlan, JitterRule, LinkFlap, LinkSel, LossRule, Window,
+};
+use aequitas_sim_core::{SimDuration, SimTime};
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+}
+
+impl Value {
+    fn as_u64(&self, key: &str) -> Result<u64, String> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            _ => Err(format!("key {key:?}: expected a non-negative integer, got {self:?}")),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, String> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(format!("key {key:?}: expected a number, got {self:?}")),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("key {key:?}: expected a string, got {self:?}")),
+        }
+    }
+}
+
+/// A flat table: the keys set in one `[[section]]` body (or at the root).
+pub type Table = Vec<(String, Value)>;
+
+/// A parsed document: root-level keys plus `[[name]]` tables in order.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// Keys set before the first `[[table]]` header.
+    pub root: Table,
+    /// Array-of-tables sections in file order.
+    pub tables: Vec<(String, Table)>,
+}
+
+fn parse_value(raw: &str, line_no: usize) -> Result<Value, String> {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {line_no}: unterminated string"))?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(format!("line {line_no}: escapes are not supported in strings"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!("line {line_no}: cannot parse value {raw:?}"))
+}
+
+/// Parse the restricted TOML dialect into a [`Document`].
+pub fn parse_document(text: &str) -> Result<Document, String> {
+    let mut doc = Document::default();
+    // Index into doc.tables of the section currently being filled.
+    let mut current: Option<usize> = None;
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments. Strings may not contain '#', so this split is safe
+        // in this dialect.
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| format!("line {line_no}: malformed table header"))?
+                .trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!("line {line_no}: bad table name {name:?}"));
+            }
+            doc.tables.push((name.to_string(), Table::new()));
+            current = Some(doc.tables.len() - 1);
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: plain [table] sections are not supported; use [[table]]"
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected key = value"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {line_no}: bad key {key:?}"));
+        }
+        let value = parse_value(value, line_no)?;
+        let table = match current {
+            Some(idx) => &mut doc.tables[idx].1,
+            None => &mut doc.root,
+        };
+        table.push((key.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// Look up a key in a table, enforcing single assignment.
+fn get<'a>(table: &'a Table, key: &str) -> Result<Option<&'a Value>, String> {
+    let mut found = None;
+    for (k, v) in table {
+        if k == key {
+            if found.is_some() {
+                return Err(format!("key {key:?} set more than once"));
+            }
+            found = Some(v);
+        }
+    }
+    Ok(found)
+}
+
+fn require<'a>(table: &'a Table, section: &str, key: &str) -> Result<&'a Value, String> {
+    get(table, key)?.ok_or_else(|| format!("[[{section}]]: missing required key {key:?}"))
+}
+
+fn reject_unknown(table: &Table, section: &str, known: &[&str]) -> Result<(), String> {
+    for (k, _) in table {
+        if !known.contains(&k.as_str()) {
+            return Err(format!("[[{section}]]: unknown key {k:?} (known: {known:?})"));
+        }
+    }
+    Ok(())
+}
+
+fn link_of(table: &Table, section: &str) -> Result<LinkSel, String> {
+    LinkSel::parse(require(table, section, "link")?.as_str("link")?)
+}
+
+fn us_duration(table: &Table, section: &str, key: &str) -> Result<SimDuration, String> {
+    Ok(SimDuration::from_us_f64(require(table, section, key)?.as_f64(key)?))
+}
+
+/// Build a [`FaultPlan`] from fault-plan TOML. Schema (all times relative to
+/// sim start):
+///
+/// ```toml
+/// seed = 42                      # optional, default 0
+///
+/// [[link_flap]]
+/// link = "switch:0:2"            # "any" | "host:<h>" | "switch:<s>:<p>"
+/// first_down_us = 1000.0
+/// down_us = 200.0
+/// period_us = 1000.0
+/// count = 3
+///
+/// [[loss]]
+/// link = "any"
+/// prob = 0.01
+/// burst_period_us = 100.0        # optional; all three burst keys together
+/// burst_frac = 0.1
+/// burst_prob = 0.5
+///
+/// [[corrupt]]
+/// link = "host:0"
+/// prob = 0.001
+///
+/// [[jitter]]
+/// link = "any"
+/// max_ns = 500.0
+///
+/// [[quota_outage]]
+/// start_us = 5000.0
+/// end_us = 9000.0
+/// ```
+pub fn plan_from_toml(text: &str) -> Result<FaultPlan, String> {
+    let doc = parse_document(text)?;
+    reject_unknown(&doc.root, "root", &["seed"])?;
+    let mut plan = FaultPlan {
+        seed: match get(&doc.root, "seed")? {
+            Some(v) => v.as_u64("seed")?,
+            None => 0,
+        },
+        ..FaultPlan::default()
+    };
+    for (name, table) in &doc.tables {
+        match name.as_str() {
+            "link_flap" => {
+                reject_unknown(
+                    table,
+                    name,
+                    &["link", "first_down_us", "down_us", "period_us", "count"],
+                )?;
+                plan.flaps.push(LinkFlap {
+                    link: link_of(table, name)?,
+                    first_down: SimTime::ZERO + us_duration(table, name, "first_down_us")?,
+                    down: us_duration(table, name, "down_us")?,
+                    period: us_duration(table, name, "period_us")?,
+                    count: require(table, name, "count")?.as_u64("count")? as u32,
+                });
+            }
+            "loss" => {
+                reject_unknown(
+                    table,
+                    name,
+                    &["link", "prob", "burst_period_us", "burst_frac", "burst_prob"],
+                )?;
+                let burst = match get(table, "burst_period_us")? {
+                    Some(p) => Some(BurstLoss {
+                        period: SimDuration::from_us_f64(p.as_f64("burst_period_us")?),
+                        frac: require(table, name, "burst_frac")?.as_f64("burst_frac")?,
+                        prob: require(table, name, "burst_prob")?.as_f64("burst_prob")?,
+                    }),
+                    None => {
+                        if get(table, "burst_frac")?.is_some()
+                            || get(table, "burst_prob")?.is_some()
+                        {
+                            return Err(
+                                "[[loss]]: burst_frac/burst_prob require burst_period_us"
+                                    .to_string(),
+                            );
+                        }
+                        None
+                    }
+                };
+                plan.loss.push(LossRule {
+                    link: link_of(table, name)?,
+                    prob: require(table, name, "prob")?.as_f64("prob")?,
+                    burst,
+                });
+            }
+            "corrupt" => {
+                reject_unknown(table, name, &["link", "prob"])?;
+                plan.corrupt.push(CorruptRule {
+                    link: link_of(table, name)?,
+                    prob: require(table, name, "prob")?.as_f64("prob")?,
+                });
+            }
+            "jitter" => {
+                reject_unknown(table, name, &["link", "max_ns"])?;
+                let max_ns = require(table, name, "max_ns")?.as_f64("max_ns")?;
+                plan.jitter.push(JitterRule {
+                    link: link_of(table, name)?,
+                    max: SimDuration::from_ps((max_ns * 1000.0) as u64),
+                });
+            }
+            "quota_outage" => {
+                reject_unknown(table, name, &["start_us", "end_us"])?;
+                plan.quota_outages.push(Window {
+                    start: SimTime::ZERO + us_duration(table, name, "start_us")?,
+                    end: SimTime::ZERO + us_duration(table, name, "end_us")?,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unknown table [[{other}]] (known: link_flap, loss, corrupt, jitter, \
+                     quota_outage)"
+                ))
+            }
+        }
+    }
+    Ok(plan.validated())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketFate;
+
+    const FULL_PLAN: &str = r#"
+# Chaos plan exercising every rule type.
+seed = 42
+
+[[link_flap]]
+link = "switch:0:2"
+first_down_us = 1000.0
+down_us = 200.0
+period_us = 1000.0
+count = 3
+
+[[loss]]
+link = "any"
+prob = 0.01
+burst_period_us = 100.0
+burst_frac = 0.1
+burst_prob = 0.5
+
+[[corrupt]]
+link = "host:0"
+prob = 0.001
+
+[[jitter]]
+link = "any"
+max_ns = 500.0
+
+[[quota_outage]]
+start_us = 5000.0
+end_us = 9000.0
+"#;
+
+    #[test]
+    fn full_plan_round_trips() {
+        let plan = plan_from_toml(FULL_PLAN).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.flaps.len(), 1);
+        assert_eq!(plan.loss.len(), 1);
+        assert!(plan.loss[0].burst.is_some());
+        assert_eq!(plan.corrupt.len(), 1);
+        assert_eq!(plan.jitter.len(), 1);
+        assert_eq!(plan.quota_outages.len(), 1);
+        assert!(plan.affects_fabric());
+        assert!(plan.quota_server_down(SimTime::from_us(6000)));
+        assert!(plan.link_down(
+            crate::LinkId::SwitchPort { switch: 0, port: 2 },
+            SimTime::from_us(1100)
+        ));
+    }
+
+    #[test]
+    fn empty_plan_is_valid_and_inert() {
+        let plan = plan_from_toml("").unwrap();
+        assert!(!plan.affects_fabric());
+        assert_eq!(
+            plan.packet_fate(crate::LinkId::HostUp(0), 1, SimTime::ZERO),
+            PacketFate::Deliver
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = plan_from_toml("[[loss]]\nlink = \"any\"\nprobability = 0.5\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let err = plan_from_toml("[[packet_loss]]\nprob = 0.5\n").unwrap_err();
+        assert!(err.contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_key_is_an_error() {
+        let err = plan_from_toml("[[loss]]\nprob = 0.5\n").unwrap_err();
+        assert!(err.contains("missing required key"), "{err}");
+    }
+
+    #[test]
+    fn burst_keys_require_period() {
+        let err =
+            plan_from_toml("[[loss]]\nlink = \"any\"\nprob = 0.1\nburst_frac = 0.5\n").unwrap_err();
+        assert!(err.contains("burst_period_us"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_key_is_an_error() {
+        let err = plan_from_toml("seed = 1\nseed = 2\n").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let plan = plan_from_toml("# hi\n\nseed = 9 # trailing\n").unwrap();
+        assert_eq!(plan.seed, 9);
+    }
+
+    #[test]
+    fn plain_table_header_rejected() {
+        let err = plan_from_toml("[loss]\nprob = 0.5\n").unwrap_err();
+        assert!(err.contains("[[table]]"), "{err}");
+    }
+}

@@ -3,13 +3,23 @@
 use crate::packet::Packet;
 use crate::port::{Port, PortStats, SchedulerKind};
 use crate::topology::{HostId, NodeRef, SwitchId, Topology};
-use aequitas_sim_core::{EventQueue, QueueKind, SimRng, SimTime};
+use aequitas_faults::{FaultPlan, LinkId as FaultLinkId, PacketFate};
+use aequitas_sim_core::{EventQueue, QueueKind, SimDuration, SimRng, SimTime};
 use aequitas_telemetry::{labels, NodeKind, Telemetry, TraceEvent};
+use std::sync::Arc;
 
 fn node_tag(node: NodeRef) -> (NodeKind, usize) {
     match node {
         NodeRef::Host(h) => (NodeKind::Host, h.0),
         NodeRef::Switch(s) => (NodeKind::Switch, s.0),
+    }
+}
+
+/// The fault-plan identity of a transmit port.
+fn fault_link(node: NodeRef, port: usize) -> FaultLinkId {
+    match node {
+        NodeRef::Host(h) => FaultLinkId::HostUp(h.0),
+        NodeRef::Switch(s) => FaultLinkId::SwitchPort { switch: s.0, port },
     }
 }
 
@@ -36,6 +46,12 @@ pub struct EngineConfig {
     pub loss_probability: f64,
     /// Seed for the loss stream.
     pub loss_seed: u64,
+    /// Structured fault injection: link flaps, per-link loss/corruption and
+    /// jitter from a deterministic, seeded [`FaultPlan`]. `None` disables.
+    /// Unlike `loss_probability` (a legacy uniform-drop knob that consumes a
+    /// shared RNG stream), every plan decision is a pure function of
+    /// `(seed, time, entity)`, so verdicts are independent of event order.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Future-event list backend. [`QueueKind::Calendar`] (default) is the
     /// fast path; [`QueueKind::Heap`] is the reference implementation kept
     /// for A/B determinism checks and benchmarks.
@@ -55,6 +71,7 @@ impl EngineConfig {
             classes: 3,
             loss_probability: 0.0,
             loss_seed: 0,
+            faults: None,
             event_queue: QueueKind::Calendar,
         }
     }
@@ -70,6 +87,7 @@ impl EngineConfig {
             classes: 2,
             loss_probability: 0.0,
             loss_seed: 0,
+            faults: None,
             event_queue: QueueKind::Calendar,
         }
     }
@@ -131,6 +149,8 @@ enum Event {
     Arrive { node: NodeRef, pkt: Packet },
     /// An egress port finished serializing its in-flight packet.
     TxDone { node: NodeRef, port: usize },
+    /// A faulted link's down window ended; resume deferred transmissions.
+    LinkUp { node: NodeRef, port: usize },
     /// Host timer.
     Timer { host: HostId, token: u64 },
 }
@@ -359,6 +379,32 @@ impl<A: HostAgent> Engine<A> {
         if port_state.in_flight.is_some() {
             return;
         }
+        // Fault injection: a downed link transmits nothing. Defer the
+        // dequeue and arm exactly one wake at the end of the down window;
+        // queued packets stay buffered (and may tail-drop) meanwhile.
+        if let Some(plan) = &self.config.faults {
+            let flink = fault_link(node, port);
+            if plan.affects_fabric() && plan.link_down(flink, now) {
+                if !port_state.fault_wake_armed {
+                    port_state.fault_wake_armed = true;
+                    let up = plan.link_up_at(flink, now);
+                    self.queue.schedule(up, Event::LinkUp { node, port });
+                    if self.telemetry.is_enabled() {
+                        let (kind, node_id) = node_tag(node);
+                        self.telemetry.emit(
+                            now,
+                            TraceEvent::FaultLinkDown {
+                                node: kind,
+                                node_id,
+                                port,
+                                until_ps: up.as_ps(),
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+        }
         if let Some(pkt) = port_state.dequeue() {
             let ser = link.rate.serialize_time(pkt.size_bytes as u64);
             let tel_info = self
@@ -387,6 +433,29 @@ impl<A: HostAgent> Engine<A> {
     /// Packets destroyed by fault injection so far.
     pub fn injected_losses(&self) -> u64 {
         self.injected_losses
+    }
+
+    /// Packets destroyed in transit by the structured fault plan, summed
+    /// over every port: `(clean losses, corruptions)`.
+    pub fn fault_loss_totals(&self) -> (u64, u64) {
+        let mut drops = 0;
+        let mut corrupts = 0;
+        for sw in &self.switches {
+            for p in &sw.ports {
+                drops += p.stats.fault_drops;
+                corrupts += p.stats.fault_corrupts;
+            }
+        }
+        for h in &self.hosts {
+            drops += h.nic.stats.fault_drops;
+            corrupts += h.nic.stats.fault_corrupts;
+        }
+        (drops, corrupts)
+    }
+
+    /// The structured fault plan attached to this engine, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.faults.as_ref()
     }
 
     /// Dispatch one already-popped event.
@@ -472,8 +541,81 @@ impl<A: HostAgent> Engine<A> {
                 if matches!(node, NodeRef::Host(_)) {
                     pkt.sent_at = now;
                 }
+                // Structured fault injection: the frame just left the port;
+                // the plan decides whether the link destroys it (loss,
+                // corruption, or a down window that opened mid-serialization)
+                // and how much extra propagation jitter it suffers. Verdicts
+                // are pure functions of (seed, link, pkt.id), so they do not
+                // depend on event order.
+                let mut extra = SimDuration::ZERO;
+                if let Some(plan) = &self.config.faults {
+                    if plan.affects_fabric() {
+                        let flink = fault_link(node, port);
+                        let fate = if plan.link_down(flink, now) {
+                            PacketFate::Lose
+                        } else {
+                            plan.packet_fate(flink, pkt.id, now)
+                        };
+                        match fate {
+                            PacketFate::Deliver => {
+                                extra = plan.extra_delay(flink, pkt.id);
+                            }
+                            PacketFate::Lose | PacketFate::Corrupt => {
+                                let corrupt = fate == PacketFate::Corrupt;
+                                let class =
+                                    pkt.class().min(self.config.classes - 1);
+                                let stats = match node {
+                                    NodeRef::Host(h) => &mut self.hosts[h.0].nic.stats,
+                                    NodeRef::Switch(s) => {
+                                        &mut self.switches[s.0].ports[port].stats
+                                    }
+                                };
+                                if corrupt {
+                                    stats.fault_corrupts += 1;
+                                } else {
+                                    stats.fault_drops += 1;
+                                }
+                                if self.telemetry.is_enabled() {
+                                    let (kind, node_id) = node_tag(node);
+                                    self.telemetry.emit(
+                                        now,
+                                        TraceEvent::FaultPktDrop {
+                                            node: kind,
+                                            node_id,
+                                            port,
+                                            class,
+                                            bytes: pkt.size_bytes,
+                                            corrupt,
+                                        },
+                                    );
+                                }
+                                self.kick_one(node, port);
+                                return;
+                            }
+                        }
+                    }
+                }
                 self.queue
-                    .schedule(now + prop, Event::Arrive { node: peer, pkt });
+                    .schedule(now + prop + extra, Event::Arrive { node: peer, pkt });
+                self.kick_one(node, port);
+            }
+            Event::LinkUp { node, port } => {
+                let port_state = match node {
+                    NodeRef::Host(h) => &mut self.hosts[h.0].nic,
+                    NodeRef::Switch(s) => &mut self.switches[s.0].ports[port],
+                };
+                port_state.fault_wake_armed = false;
+                if self.telemetry.is_enabled() {
+                    let (kind, node_id) = node_tag(node);
+                    self.telemetry
+                        .emit(self.queue.now(), TraceEvent::FaultLinkUp {
+                            node: kind,
+                            node_id,
+                            port,
+                        });
+                }
+                // May immediately re-defer (and re-arm) if another down
+                // window covers this instant.
                 self.kick_one(node, port);
             }
             Event::Timer { host, token } => {
@@ -739,6 +881,102 @@ mod tests {
             let mut eng = Engine::new(topo, agents, cfg2());
             eng.run_until(SimTime::from_ms(2));
             eng.agents()[2].received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    use aequitas_faults::{LinkFlap, LinkSel, LossRule};
+
+    #[test]
+    fn link_flap_defers_delivery_until_window_end() {
+        // The switch->host1 egress goes down before the packet reaches it
+        // and comes back at 50 us; nothing is lost, delivery just waits.
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut config = cfg2();
+        config.faults = Some(Arc::new(FaultPlan {
+            seed: 1,
+            flaps: vec![LinkFlap {
+                link: LinkSel::SwitchPort { switch: 0, port: 1 },
+                first_down: SimTime::ZERO,
+                down: SimDuration::from_us(50),
+                period: SimDuration::from_us(50),
+                count: 1,
+            }],
+            ..FaultPlan::default()
+        }));
+        let agents = vec![Blaster::sender(HostId(1), 1, 0, 4160), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, config);
+        eng.run_until(SimTime::from_ms(1));
+        let rx = &eng.agents()[1].received;
+        assert_eq!(rx.len(), 1, "the packet must survive the flap");
+        // Up at 50 us, then one serialization (332.8 ns) + propagation
+        // (500 ns) to the host.
+        assert_eq!(rx[0].0.as_ps(), 50_000_000 + 332_800 + 500_000);
+        assert_eq!(eng.fault_loss_totals(), (0, 0));
+    }
+
+    #[test]
+    fn fault_loss_is_counted_and_packets_vanish() {
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut config = cfg2();
+        config.faults = Some(Arc::new(FaultPlan {
+            seed: 3,
+            loss: vec![LossRule {
+                link: LinkSel::HostUp(0),
+                prob: 0.5,
+                burst: None,
+            }],
+            ..FaultPlan::default()
+        }));
+        let agents = vec![Blaster::sender(HostId(1), 400, 0, 1500), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, config);
+        eng.run_until(SimTime::from_ms(10));
+        let received = eng.agents()[1].received.len() as u64;
+        let (drops, corrupts) = eng.fault_loss_totals();
+        assert_eq!(corrupts, 0);
+        assert_eq!(received + drops, 400, "every packet delivered or counted");
+        assert!(
+            (100..=300).contains(&drops),
+            "0.5 loss on 400 packets, got {drops} drops"
+        );
+        // The NIC's own stats hold the drops: the loss rule is on host 0's
+        // uplink.
+        assert_eq!(eng.host_nic_stats(HostId(0)).fault_drops, drops);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let topo = Topology::star(3, LinkSpec::default_100g());
+            let mut config = cfg2();
+            config.faults = Some(Arc::new(FaultPlan {
+                seed: 9,
+                flaps: vec![LinkFlap {
+                    link: LinkSel::SwitchPort { switch: 0, port: 2 },
+                    first_down: SimTime::from_us(100),
+                    down: SimDuration::from_us(40),
+                    period: SimDuration::from_us(200),
+                    count: 3,
+                }],
+                loss: vec![LossRule {
+                    link: LinkSel::Any,
+                    prob: 0.05,
+                    burst: None,
+                }],
+                jitter: vec![aequitas_faults::JitterRule {
+                    link: LinkSel::Any,
+                    max: SimDuration::from_ns(400),
+                }],
+                ..FaultPlan::default()
+            }));
+            let agents = vec![
+                Blaster::sender(HostId(2), 500, 0, 4160),
+                Blaster::sender(HostId(2), 500, 1, 4160),
+                Blaster::sink(),
+            ];
+            let mut eng = Engine::new(topo, agents, config);
+            eng.run_until(SimTime::from_ms(2));
+            (eng.agents()[2].received.clone(), eng.fault_loss_totals())
         };
         assert_eq!(run(), run());
     }

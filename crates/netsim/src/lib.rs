@@ -58,6 +58,7 @@ pub mod port;
 pub mod topology;
 
 pub use engine::{Engine, EngineConfig, HostActions, HostAgent, HostCtx};
+pub use aequitas_faults as faults;
 pub use aequitas_sim_core::QueueKind;
 pub use packet::{FlowKey, Packet, PacketKind};
 pub use port::{PortStats, SchedulerKind};

@@ -15,7 +15,10 @@ pub enum SchedulerKind {
     Dwrr {
         /// Class weights.
         weights: Vec<f64>,
-        /// Base quantum in bytes for a weight-1.0 class.
+        /// Base quantum in bytes for a weight-1.0 class. Must cover a full
+        /// wire packet (payload MTU + [`crate::packet::HEADER_BYTES`]) or
+        /// low-weight classes skip service rounds (see
+        /// `aequitas_qdisc::DwrrScheduler`).
         quantum: u32,
     },
     /// Strict priority with `n` classes (0 = highest).
@@ -40,6 +43,10 @@ pub struct PortStats {
     pub max_class_depth_pkts: Vec<u64>,
     /// High-water mark of total queued bytes at the port.
     pub max_backlog_bytes: u64,
+    /// Packets destroyed in transit by fault injection (clean loss).
+    pub fault_drops: u64,
+    /// Packets destroyed in transit by fault injection (corruption).
+    pub fault_corrupts: u64,
 }
 
 impl PortStats {
@@ -50,6 +57,8 @@ impl PortStats {
             drops: vec![0; classes],
             max_class_depth_pkts: vec![0; classes],
             max_backlog_bytes: 0,
+            fault_drops: 0,
+            fault_corrupts: 0,
         }
     }
 
@@ -91,6 +100,9 @@ pub(crate) struct Port {
     sched: Sched,
     /// Packet currently being serialized onto the wire, if any.
     pub(crate) in_flight: Option<Packet>,
+    /// True while a `LinkUp` wake event is pending for this port, so a link
+    /// down window defers transmission with exactly one scheduled wake.
+    pub(crate) fault_wake_armed: bool,
     pub(crate) stats: PortStats,
     #[cfg(feature = "simsan")]
     san: PortSan,
@@ -120,6 +132,7 @@ impl Port {
         Port {
             sched,
             in_flight: None,
+            fault_wake_armed: false,
             stats: PortStats::new(classes),
             #[cfg(feature = "simsan")]
             san: PortSan::default(),

@@ -16,7 +16,15 @@ struct Queued<T> {
 }
 
 /// A DWRR scheduler. `quantum` is the base credit in bytes per round for a
-/// weight-1.0 class (commonly one MTU).
+/// weight-1.0 class.
+///
+/// Shreedhar & Varghese require `quantum >= max packet size` for O(1) work
+/// per packet and for every backlogged class to transmit each round. A
+/// smaller quantum still drains (credits accumulate across rotations) but a
+/// weight-1.0 class then skips rounds, which inflates its latency tail
+/// relative to a PGPS/virtual-time scheduler with the same weights. For
+/// fabric ports carry full wire packets, so the quantum must include the
+/// packet header bytes, not just the payload MTU.
 pub struct DwrrScheduler<T> {
     weights: Vec<f64>,
     quantum: u32,

@@ -20,6 +20,8 @@ pub mod driver;
 pub mod stack;
 
 pub use driver::{PrioritySpec, WorkloadHost, WorkloadSpec};
-pub use stack::{Policy, RpcCompletion, RpcStack};
+pub use stack::{
+    Policy, RetryConfig, RpcCompletion, RpcFailure, RpcStack, RPC_RETRY_TIMER,
+};
 
 pub use aequitas_workloads::{ArrivalProcess, Priority, QosClass, QosMapping, TrafficPattern};

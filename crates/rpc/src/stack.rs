@@ -60,10 +60,78 @@ impl Policy {
     }
 }
 
+/// Timer token reserved by the RPC stack for its retry queue. Sits below
+/// [`aequitas_transport::TRANSPORT_TIMER_BASE`] (`1 << 62`, transport-owned)
+/// and far above the small token values application drivers use.
+pub const RPC_RETRY_TIMER: u64 = 1 << 61;
+
+/// Per-RPC retry policy applied when the transport abandons a message
+/// (its own per-segment retry budget ran out — see
+/// [`aequitas_transport::TransportConfig::max_retries`]).
+///
+/// Retries back off exponentially and are *deadline-propagating*: a retry
+/// is never re-issued at or past the caller's deadline, so a retried RPC
+/// cannot outlive the deadline budget it was issued under.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total send attempts per RPC, including the first. 1 disables
+    /// RPC-level retries entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff: SimDuration,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            backoff: SimDuration::from_us(200),
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before attempt `next_attempt` (2-based: the first retry is
+    /// attempt 2 and waits `backoff`; each later one multiplies by
+    /// `backoff_factor`).
+    fn delay_before(&self, next_attempt: u32) -> SimDuration {
+        debug_assert!(next_attempt >= 2);
+        let exp = (next_attempt - 2).min(30);
+        self.backoff
+            .mul_f64(self.backoff_factor.max(1.0).powi(exp as i32))
+    }
+}
+
+/// An RPC abandoned for good: every transport attempt failed and the retry
+/// budget or the caller's deadline ran out.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcFailure {
+    /// The id returned by `issue_rpc` for the original attempt.
+    pub rpc_id: u64,
+    /// Sending host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Application priority class.
+    pub priority: Priority,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+    /// When the first attempt was issued.
+    pub first_issued_at: SimTime,
+    /// When the stack gave up.
+    pub failed_at: SimTime,
+    /// Send attempts made (>= 1).
+    pub attempts: u32,
+}
+
 /// A completed RPC with its full QoS history and RNL.
 #[derive(Debug, Clone, Copy)]
 pub struct RpcCompletion {
-    /// Sender-unique RPC id.
+    /// Sender-unique RPC id (the id `issue_rpc` returned; stable across
+    /// stack-level retries).
     pub rpc_id: u64,
     /// Sending host (the channel's source).
     pub src: HostId,
@@ -80,10 +148,13 @@ pub struct RpcCompletion {
     pub downgraded: bool,
     /// Payload size in bytes.
     pub size_bytes: u64,
-    /// RNL `t0`: first byte handed to the transport.
+    /// RNL `t0`: first byte handed to the transport (the *first* attempt
+    /// when the stack retried — RNL spans the whole retry saga).
     pub issued_at: SimTime,
     /// RNL `t1`: last byte acknowledged.
     pub completed_at: SimTime,
+    /// Send attempts it took (1 = completed without RPC-level retries).
+    pub attempts: u32,
 }
 
 impl RpcCompletion {
@@ -104,6 +175,28 @@ struct PendingRpc {
     qos_requested: QosClass,
     qos_run: QosClass,
     downgraded: bool,
+    dst: HostId,
+    size_bytes: u64,
+    /// Id `issue_rpc` returned (retried attempts get fresh transport ids).
+    first_rpc_id: u64,
+    first_issued_at: SimTime,
+    deadline: Option<SimTime>,
+    /// 1-based attempt number of the in-flight transport message.
+    attempt: u32,
+}
+
+/// A retry waiting for its backoff to elapse.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRetry {
+    due: SimTime,
+    dst: HostId,
+    priority: Priority,
+    size_bytes: u64,
+    first_rpc_id: u64,
+    first_issued_at: SimTime,
+    deadline: Option<SimTime>,
+    /// Attempt number this retry will run as.
+    attempt: u32,
 }
 
 /// Outstanding-RPC table keyed by rpc id. Ids are allocated monotonically
@@ -157,6 +250,12 @@ pub struct RpcStack {
     next_rpc_id: u64,
     dropped: u64,
     dropped_bytes: u64,
+    retry: RetryConfig,
+    /// Sorted by `due` ascending (ties keep insertion order).
+    retry_queue: Vec<QueuedRetry>,
+    /// Earliest armed [`RPC_RETRY_TIMER`] deadline, to avoid re-arming.
+    retry_timer_at: Option<SimTime>,
+    rpc_failures: Vec<RpcFailure>,
     telemetry: Telemetry,
 }
 
@@ -185,8 +284,24 @@ impl RpcStack {
             next_rpc_id: (host.0 as u64) << 32,
             dropped: 0,
             dropped_bytes: 0,
+            retry: RetryConfig::default(),
+            retry_queue: Vec::new(),
+            retry_timer_at: None,
+            rpc_failures: Vec::new(),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Replace the RPC-level retry policy.
+    pub fn set_retry_config(&mut self, retry: RetryConfig) {
+        assert!(retry.max_attempts >= 1);
+        assert!(retry.backoff_factor >= 1.0);
+        self.retry = retry;
+    }
+
+    /// The retry policy in use.
+    pub fn retry_config(&self) -> &RetryConfig {
+        &self.retry
     }
 
     /// Attach a telemetry handle to the stack and propagate it to the
@@ -226,6 +341,41 @@ impl RpcStack {
         priority: Priority,
         size_bytes: u64,
     ) -> u64 {
+        self.issue_rpc_with_deadline(ctx, dst, priority, size_bytes, None)
+    }
+
+    /// Like [`RpcStack::issue_rpc`] but with a caller deadline. The deadline
+    /// propagates into the retry layer: if the transport abandons the
+    /// message, it is retried (with exponential backoff) only while the
+    /// next attempt would still start *before* the deadline; otherwise the
+    /// RPC fails and is reported through [`RpcStack::take_rpc_failures`].
+    pub fn issue_rpc_with_deadline(
+        &mut self,
+        ctx: &mut HostCtx,
+        dst: HostId,
+        priority: Priority,
+        size_bytes: u64,
+        deadline: Option<SimTime>,
+    ) -> u64 {
+        let now = ctx.now();
+        self.issue_attempt(ctx, dst, priority, size_bytes, deadline, 1, None, now)
+    }
+
+    /// One send attempt (`attempt` is 1-based; retries pass the original
+    /// id and issue time so completions and failures stay correlated with
+    /// what the caller saw).
+    #[allow(clippy::too_many_arguments)]
+    fn issue_attempt(
+        &mut self,
+        ctx: &mut HostCtx,
+        dst: HostId,
+        priority: Priority,
+        size_bytes: u64,
+        deadline: Option<SimTime>,
+        attempt: u32,
+        first_rpc_id: Option<u64>,
+        first_issued_at: SimTime,
+    ) -> u64 {
         let qos_requested = self.mapping.qos_for(priority);
         let (qos_run, downgraded) = match &mut self.policy {
             Policy::Static => (qos_requested, false),
@@ -256,6 +406,20 @@ impl RpcStack {
                             1,
                         );
                     });
+                    if let Some(id) = first_rpc_id {
+                        // A rejected *retry* is a terminal failure for the
+                        // original RPC, not a silent drop.
+                        self.rpc_failures.push(RpcFailure {
+                            rpc_id: id,
+                            src: self.host,
+                            dst,
+                            priority,
+                            size_bytes,
+                            first_issued_at,
+                            failed_at: ctx.now(),
+                            attempts: attempt,
+                        });
+                    }
                     return u64::MAX;
                 }
                 (QosClass(d.qos_run), false)
@@ -301,6 +465,12 @@ impl RpcStack {
                 qos_requested,
                 qos_run,
                 downgraded,
+                dst,
+                size_bytes,
+                first_rpc_id: first_rpc_id.unwrap_or(rpc_id),
+                first_issued_at,
+                deadline,
+                attempt,
             },
         );
         if self.telemetry.is_enabled() {
@@ -340,21 +510,33 @@ impl RpcStack {
     /// `true` if the packet belonged to the transport.
     pub fn handle_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) -> bool {
         let consumed = self.transport.handle_packet(ctx, pkt);
-        self.harvest(ctx.now());
+        self.harvest(ctx);
         consumed
     }
 
-    /// Forward a timer to the transport; harvest completions. Returns `true`
-    /// if the token belonged to the transport.
+    /// Forward a timer to the transport or the retry queue; harvest
+    /// completions. Returns `true` if the token belonged to the stack
+    /// (transport or retry layer).
     pub fn handle_timer(&mut self, ctx: &mut HostCtx, token: u64) -> bool {
+        if token == RPC_RETRY_TIMER {
+            self.fire_retries(ctx);
+            self.harvest(ctx);
+            return true;
+        }
         let consumed = self.transport.handle_timer(ctx, token);
-        self.harvest(ctx.now());
+        self.harvest(ctx);
         consumed
     }
 
     /// Drain completed RPCs recorded since the last call.
     pub fn take_completions(&mut self) -> Vec<RpcCompletion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Drain RPCs that failed for good (retry budget or deadline exhausted)
+    /// since the last call.
+    pub fn take_rpc_failures(&mut self) -> Vec<RpcFailure> {
+        std::mem::take(&mut self.rpc_failures)
     }
 
     /// Admit probability currently maintained toward `(dst, qos)` (1.0 when
@@ -402,9 +584,10 @@ impl RpcStack {
         &self.transport
     }
 
-    /// RPCs issued but not yet completed.
+    /// RPCs issued but not yet completed or failed (includes retries
+    /// waiting out their backoff).
     pub fn outstanding(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.retry_queue.len()
     }
 
     /// RPCs rejected by the drop-excess ablation policy, and their bytes.
@@ -428,14 +611,14 @@ impl RpcStack {
         }
     }
 
-    fn harvest(&mut self, _now: SimTime) {
+    fn harvest(&mut self, ctx: &mut HostCtx) {
         for done in self.transport.take_completions() {
             let Some(info) = self.pending.remove(done.msg_id) else {
                 debug_assert!(false, "completion for unknown rpc {}", done.msg_id);
                 continue;
             };
             let completion = RpcCompletion {
-                rpc_id: done.msg_id,
+                rpc_id: info.first_rpc_id,
                 src: self.host,
                 dst: done.flow.dst,
                 priority: info.priority,
@@ -443,8 +626,9 @@ impl RpcStack {
                 qos_run: info.qos_run,
                 downgraded: info.downgraded,
                 size_bytes: done.size_bytes,
-                issued_at: done.issued_at,
+                issued_at: info.first_issued_at,
                 completed_at: done.completed_at,
+                attempts: info.attempt,
             };
             match &mut self.policy {
                 Policy::Aequitas(ctl)
@@ -487,6 +671,116 @@ impl RpcStack {
                 });
             }
             self.completions.push(completion);
+        }
+        for f in self.transport.take_failures() {
+            let Some(info) = self.pending.remove(f.msg_id) else {
+                debug_assert!(false, "failure for unknown rpc {}", f.msg_id);
+                continue;
+            };
+            let next_attempt = info.attempt + 1;
+            let due = f.failed_at + self.retry.delay_before(next_attempt.max(2));
+            let within_budget = next_attempt <= self.retry.max_attempts;
+            // Deadline propagation: never start an attempt that would run
+            // at or past the caller's deadline.
+            let within_deadline = info.deadline.is_none_or(|d| due < d);
+            if within_budget && within_deadline {
+                let retry = QueuedRetry {
+                    due,
+                    dst: info.dst,
+                    priority: info.priority,
+                    size_bytes: info.size_bytes,
+                    first_rpc_id: info.first_rpc_id,
+                    first_issued_at: info.first_issued_at,
+                    deadline: info.deadline,
+                    attempt: next_attempt,
+                };
+                let pos = self.retry_queue.partition_point(|r| r.due <= due);
+                self.retry_queue.insert(pos, retry);
+                self.telemetry.with_metrics(|m| {
+                    m.counter_add(
+                        "rpc.retry_scheduled",
+                        labels(&[("host", &self.host.0.to_string())]),
+                        1,
+                    );
+                });
+                self.arm_retry_timer(ctx);
+            } else {
+                if self.telemetry.is_enabled() {
+                    self.telemetry.emit(
+                        f.failed_at,
+                        TraceEvent::Warn {
+                            component: "rpc".into(),
+                            message: format!(
+                                "rpc {:#x} to host {} failed after {} attempts ({})",
+                                info.first_rpc_id,
+                                info.dst.0,
+                                info.attempt,
+                                if within_budget {
+                                    "deadline exceeded"
+                                } else {
+                                    "retry budget exhausted"
+                                },
+                            ),
+                        },
+                    );
+                    self.telemetry.with_metrics(|m| {
+                        m.counter_add(
+                            "rpc.failed",
+                            labels(&[("host", &self.host.0.to_string())]),
+                            1,
+                        );
+                    });
+                }
+                self.rpc_failures.push(RpcFailure {
+                    rpc_id: info.first_rpc_id,
+                    src: self.host,
+                    dst: info.dst,
+                    priority: info.priority,
+                    size_bytes: info.size_bytes,
+                    first_issued_at: info.first_issued_at,
+                    failed_at: f.failed_at,
+                    attempts: info.attempt,
+                });
+            }
+        }
+    }
+
+    /// Re-issue every retry whose backoff has elapsed, then re-arm the
+    /// timer for the next one.
+    fn fire_retries(&mut self, ctx: &mut HostCtx) {
+        self.retry_timer_at = None;
+        while let Some(first) = self.retry_queue.first() {
+            if first.due > ctx.now() {
+                break;
+            }
+            let r = self.retry_queue.remove(0);
+            self.telemetry.with_metrics(|m| {
+                m.counter_add(
+                    "rpc.retried",
+                    labels(&[("host", &self.host.0.to_string())]),
+                    1,
+                );
+            });
+            self.issue_attempt(
+                ctx,
+                r.dst,
+                r.priority,
+                r.size_bytes,
+                r.deadline,
+                r.attempt,
+                Some(r.first_rpc_id),
+                r.first_issued_at,
+            );
+        }
+        self.arm_retry_timer(ctx);
+    }
+
+    fn arm_retry_timer(&mut self, ctx: &mut HostCtx) {
+        if let Some(first) = self.retry_queue.first() {
+            if self.retry_timer_at.is_none_or(|t| first.due < t) {
+                ctx.set_timer(first.due, RPC_RETRY_TIMER);
+                self.retry_timer_at = Some(first.due);
+            }
         }
     }
 
@@ -692,6 +986,201 @@ mod tests {
         let mut eng = Engine::new(topo, agents, EngineConfig::default_3qos());
         eng.run_until(SimTime::from_ms(10));
         assert_eq!(eng.agents()[0].stack.outstanding(), 0);
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use aequitas_netsim::faults::{FaultPlan, LinkFlap, LinkSel};
+    use aequitas_netsim::{Engine, EngineConfig, HostAgent, LinkSpec, Topology};
+    use std::sync::Arc;
+
+    /// Issues a fixed batch of RPCs at start and collects completions and
+    /// failures — the retry layer does everything else.
+    struct RetryHost {
+        stack: RpcStack,
+        send: Vec<(HostId, Priority, u64, Option<SimTime>)>,
+        done: Vec<RpcCompletion>,
+        failed: Vec<RpcFailure>,
+    }
+
+    impl RetryHost {
+        fn new(host: usize, retry: RetryConfig) -> RetryHost {
+            // A transport that abandons quickly, so the RPC layer is the
+            // one riding out the outage.
+            let config = TransportConfig {
+                max_retries: 1,
+                max_rto: SimDuration::from_ms(1),
+                ..TransportConfig::default()
+            };
+            let mut stack = RpcStack::new(
+                HostId(host),
+                QosMapping::three_level(),
+                Policy::Static,
+                config,
+            );
+            stack.set_retry_config(retry);
+            RetryHost {
+                stack,
+                send: Vec::new(),
+                done: Vec::new(),
+                failed: Vec::new(),
+            }
+        }
+
+        fn harvest(&mut self) {
+            self.done.extend(self.stack.take_completions());
+            self.failed.extend(self.stack.take_rpc_failures());
+        }
+    }
+
+    impl HostAgent for RetryHost {
+        fn on_start(&mut self, ctx: &mut HostCtx) {
+            for (dst, prio, size, deadline) in std::mem::take(&mut self.send) {
+                self.stack
+                    .issue_rpc_with_deadline(ctx, dst, prio, size, deadline);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut HostCtx, pkt: Packet) {
+            self.stack.handle_packet(ctx, pkt);
+            self.harvest();
+        }
+        fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+            self.stack.handle_timer(ctx, token);
+            self.harvest();
+        }
+    }
+
+    /// Star(2) with host 0's uplink down for `down` starting at t=0.
+    fn run_flapped(
+        down: SimDuration,
+        retry: RetryConfig,
+        send: Vec<(HostId, Priority, u64, Option<SimTime>)>,
+    ) -> RetryHost {
+        let plan = FaultPlan {
+            flaps: vec![LinkFlap {
+                link: LinkSel::HostUp(0),
+                first_down: SimTime::ZERO,
+                down,
+                period: SimDuration::from_secs_f64(10.0),
+                count: 1,
+            }],
+            ..FaultPlan::default()
+        }
+        .validated();
+        let mut cfg = EngineConfig::default_3qos();
+        cfg.faults = Some(Arc::new(plan));
+        let mut sender = RetryHost::new(0, retry.clone());
+        sender.send = send;
+        let agents = vec![sender, RetryHost::new(1, retry)];
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut eng = Engine::new(topo, agents, cfg);
+        eng.run_until(SimTime::from_ms(200));
+        let mut h = std::mem::replace(&mut eng.agents_mut()[0], RetryHost::new(0, RetryConfig::default()));
+        h.harvest();
+        h
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let r = RetryConfig {
+            max_attempts: 8,
+            backoff: SimDuration::from_us(100),
+            backoff_factor: 2.0,
+        };
+        assert_eq!(r.delay_before(2), SimDuration::from_us(100));
+        assert_eq!(r.delay_before(3), SimDuration::from_us(200));
+        assert_eq!(r.delay_before(5), SimDuration::from_us(800));
+        // The exponent clamps instead of overflowing.
+        assert!(r.delay_before(u32::MAX) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transport_abandonment_is_retried_to_completion() {
+        // The link is down long enough that the fast-abandoning transport
+        // gives up several times; the RPC layer's backoff outlives the
+        // outage and the RPC completes.
+        let retry = RetryConfig {
+            max_attempts: 16,
+            backoff: SimDuration::from_us(500),
+            backoff_factor: 2.0,
+        };
+        let h = run_flapped(
+            SimDuration::from_ms(4),
+            retry,
+            vec![(HostId(1), Priority::PerformanceCritical, 32_768, None)],
+        );
+        assert_eq!(h.failed.len(), 0, "{:?}", h.failed);
+        assert_eq!(h.done.len(), 1);
+        let c = &h.done[0];
+        assert!(c.attempts >= 2, "expected retries, got {} attempts", c.attempts);
+        assert_eq!(c.issued_at, SimTime::ZERO, "RNL must span the retry saga");
+        assert!(c.completed_at >= SimTime::from_ms(4), "{:?}", c.completed_at);
+    }
+
+    #[test]
+    fn deadline_bounds_retry_lifetime() {
+        // An outage longer than the deadline: the stack must stop retrying
+        // before the deadline rather than ride the full (huge) budget.
+        let retry = RetryConfig {
+            max_attempts: 1000,
+            backoff: SimDuration::from_us(500),
+            backoff_factor: 2.0,
+        };
+        let deadline = SimTime::from_ms(4);
+        let h = run_flapped(
+            SimDuration::from_ms(50),
+            retry,
+            vec![(HostId(1), Priority::PerformanceCritical, 32_768, Some(deadline))],
+        );
+        assert_eq!(h.done.len(), 0);
+        assert_eq!(h.failed.len(), 1, "{:?}", h.failed);
+        let f = &h.failed[0];
+        assert!(
+            f.failed_at <= deadline,
+            "gave up at {:?}, after the {:?} deadline",
+            f.failed_at,
+            deadline
+        );
+        assert!(f.attempts >= 1);
+        assert_eq!(f.first_issued_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn retry_budget_bounds_attempts() {
+        let retry = RetryConfig {
+            max_attempts: 3,
+            backoff: SimDuration::from_us(200),
+            backoff_factor: 2.0,
+        };
+        let h = run_flapped(
+            SimDuration::from_ms(100),
+            retry,
+            vec![(HostId(1), Priority::PerformanceCritical, 32_768, None)],
+        );
+        assert_eq!(h.done.len(), 0);
+        assert_eq!(h.failed.len(), 1);
+        assert_eq!(h.failed[0].attempts, 3);
+    }
+
+    #[test]
+    fn healthy_runs_never_retry() {
+        let retry = RetryConfig::default();
+        let mut sender = RetryHost::new(0, retry.clone());
+        sender.send = (0..20)
+            .map(|_| (HostId(1), Priority::PerformanceCritical, 32_768u64, None))
+            .collect();
+        let agents = vec![sender, RetryHost::new(1, retry)];
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut eng = Engine::new(topo, agents, EngineConfig::default_3qos());
+        eng.run_until(SimTime::from_ms(50));
+        let h = &mut eng.agents_mut()[0];
+        h.harvest();
+        assert_eq!(h.done.len(), 20);
+        assert!(h.failed.is_empty());
+        assert!(h.done.iter().all(|c| c.attempts == 1));
+        assert_eq!(h.stack.outstanding(), 0);
     }
 }
 

@@ -171,6 +171,12 @@ impl SimDuration {
         self.0 / PS_PER_NS
     }
 
+    /// Number of whole `period`s contained in `self` (integer division,
+    /// exact — no float rounding). Panics if `period` is zero.
+    pub const fn div_duration(self, period: SimDuration) -> u64 {
+        self.0 / period.0
+    }
+
     /// The dimensionless ratio `self / denom`. Panics (in debug) on a
     /// zero denominator.
     pub fn ratio(self, denom: SimDuration) -> f64 {

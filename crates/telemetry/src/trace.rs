@@ -161,6 +161,48 @@ pub enum TraceEvent {
         /// Signed change applied by this step.
         delta: f64,
     },
+    /// Fault injection took a link down; transmissions are deferred.
+    FaultLinkDown {
+        /// Node kind owning the link's transmit port.
+        node: NodeKind,
+        /// Node index.
+        node_id: usize,
+        /// Egress port index.
+        port: usize,
+        /// When the link is scheduled to come back up (picoseconds).
+        until_ps: u64,
+    },
+    /// A faulted link came back up; deferred transmissions resume.
+    FaultLinkUp {
+        /// Node kind owning the link's transmit port.
+        node: NodeKind,
+        /// Node index.
+        node_id: usize,
+        /// Egress port index.
+        port: usize,
+    },
+    /// Fault injection destroyed a packet in transit (loss or corruption).
+    FaultPktDrop {
+        /// Node kind the packet was transmitted from.
+        node: NodeKind,
+        /// Node index.
+        node_id: usize,
+        /// Egress port index.
+        port: usize,
+        /// QoS class of the packet.
+        class: usize,
+        /// Packet size on the wire.
+        bytes: u32,
+        /// True when the frame was corrupted rather than cleanly lost.
+        corrupt: bool,
+    },
+    /// The quota server became unreachable or reachable again for a host.
+    FaultQuotaOutage {
+        /// Host observing the outage.
+        host: usize,
+        /// True at outage start, false at recovery.
+        down: bool,
+    },
     /// A diagnostic message from any layer.
     Warn {
         /// Emitting component (crate or module name).
@@ -182,6 +224,10 @@ impl TraceEvent {
             TraceEvent::CwndUpdate { .. } => "cwnd_update",
             TraceEvent::Retransmit { .. } => "retransmit",
             TraceEvent::AdmitProb { .. } => "admit_prob",
+            TraceEvent::FaultLinkDown { .. } => "fault_link_down",
+            TraceEvent::FaultLinkUp { .. } => "fault_link_up",
+            TraceEvent::FaultPktDrop { .. } => "fault_pkt_drop",
+            TraceEvent::FaultQuotaOutage { .. } => "fault_quota_outage",
             TraceEvent::Warn { .. } => "warn",
         }
     }
@@ -301,6 +347,46 @@ impl TraceEvent {
                     s,
                     ",\"host\":{host},\"dst\":{dst},\"qos\":{qos},\"p\":{p:.6},\"delta\":{delta:.6}"
                 );
+            }
+            TraceEvent::FaultLinkDown {
+                node,
+                node_id,
+                port,
+                until_ps,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":\"{}{}\",\"port\":{port},\"until_ps\":{until_ps}",
+                    node.label(),
+                    node_id
+                );
+            }
+            TraceEvent::FaultLinkUp { node, node_id, port } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":\"{}{}\",\"port\":{port}",
+                    node.label(),
+                    node_id
+                );
+            }
+            TraceEvent::FaultPktDrop {
+                node,
+                node_id,
+                port,
+                class,
+                bytes,
+                corrupt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":\"{}{}\",\"port\":{port},\"class\":{class},\"bytes\":{bytes},\
+                     \"corrupt\":{corrupt}",
+                    node.label(),
+                    node_id
+                );
+            }
+            TraceEvent::FaultQuotaOutage { host, down } => {
+                let _ = write!(s, ",\"host\":{host},\"down\":{down}");
             }
             TraceEvent::Warn { component, message } => {
                 let _ = write!(
@@ -470,6 +556,30 @@ mod tests {
         assert!(j.starts_with("{\"seq\":7,\"t_ps\":1234,\"type\":\"pkt_drop\""), "{j}");
         assert!(j.ends_with('}'));
         assert!(j.contains("\"node\":\"switch3\""));
+    }
+
+    #[test]
+    fn fault_events_serialize() {
+        let j = TraceEvent::FaultLinkDown {
+            node: NodeKind::Switch,
+            node_id: 0,
+            port: 2,
+            until_ps: 42,
+        }
+        .to_json(1, 10);
+        assert!(j.contains("\"type\":\"fault_link_down\"") && j.contains("\"until_ps\":42"), "{j}");
+        let j = TraceEvent::FaultPktDrop {
+            node: NodeKind::Host,
+            node_id: 1,
+            port: 0,
+            class: 0,
+            bytes: 4160,
+            corrupt: true,
+        }
+        .to_json(2, 20);
+        assert!(j.contains("\"corrupt\":true"), "{j}");
+        let j = TraceEvent::FaultQuotaOutage { host: 3, down: false }.to_json(3, 30);
+        assert!(j.contains("\"host\":3,\"down\":false"), "{j}");
     }
 
     #[test]

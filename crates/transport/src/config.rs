@@ -29,6 +29,17 @@ pub struct TransportConfig {
     pub retx_scan_interval: SimDuration,
     /// Minimum retransmission timeout.
     pub min_rto: SimDuration,
+    /// Exponential backoff factor applied to a segment's RTO per
+    /// retransmission (classic Karn backoff). 1.0 disables backoff.
+    pub rto_backoff: f64,
+    /// Ceiling for the backed-off per-segment RTO. Never pushes the RTO
+    /// below its un-backed-off base, so healthy runs are unaffected.
+    pub max_rto: SimDuration,
+    /// After this many retransmissions of any one segment the whole message
+    /// is abandoned and reported through [`crate::Transport::take_failures`]
+    /// (a flow that cannot make progress — e.g. across a long link outage —
+    /// must fail rather than retry forever).
+    pub max_retries: u32,
     /// Whether congestion control reacts to delay at all. `false` freezes
     /// the window at `initial_cwnd` (theory-validation runs).
     pub cc_enabled: bool,
@@ -48,6 +59,12 @@ impl Default for TransportConfig {
             initial_cwnd: 16.0,
             retx_scan_interval: SimDuration::from_us(100),
             min_rto: SimDuration::from_us(500),
+            rto_backoff: 2.0,
+            max_rto: SimDuration::from_ms(10),
+            // 64 capped retries span hundreds of milliseconds of simulated
+            // time — unreachable in healthy runs, finite under injected
+            // outages longer than any experiment.
+            max_retries: 64,
             cc_enabled: true,
         }
     }
@@ -75,6 +92,9 @@ mod tests {
         assert!(c.min_cwnd < 1.0);
         assert!(c.initial_cwnd <= c.max_cwnd);
         assert!(c.cc_enabled);
+        assert!(c.rto_backoff >= 1.0);
+        assert!(c.max_rto >= c.min_rto);
+        assert!(c.max_retries > 0);
     }
 
     #[test]

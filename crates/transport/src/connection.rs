@@ -3,9 +3,9 @@
 
 use crate::config::TransportConfig;
 use crate::swift::SwiftCc;
-use crate::CompletedMessage;
+use crate::{CompletedMessage, FailedMessage};
 use aequitas_netsim::FlowKey;
-use aequitas_sim_core::SimTime;
+use aequitas_sim_core::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Counters exported per connection.
@@ -19,6 +19,19 @@ pub struct ConnectionStats {
     pub completed_messages: u64,
     /// Payload bytes fully acknowledged.
     pub completed_bytes: u64,
+    /// Messages abandoned after `max_retries` retransmissions of a segment.
+    pub failed_messages: u64,
+}
+
+/// The per-segment RTO after `retx` retransmissions: exponential backoff
+/// capped at `max_rto`, but never below the un-backed-off base (so a base
+/// RTO already above the cap keeps its old behaviour).
+fn backed_off_rto(base: SimDuration, retx: u32, config: &TransportConfig) -> SimDuration {
+    if retx == 0 || config.rto_backoff <= 1.0 {
+        return base;
+    }
+    let scaled = base.mul_f64(config.rto_backoff.powi(retx.min(30) as i32));
+    scaled.min(config.max_rto.max(base))
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -239,19 +252,49 @@ impl Connection {
 
     /// Append segments whose retransmission timeout has expired to
     /// `expired` as `(msg_id, seq, is_last)`, shrinking the window once if
-    /// anything expired. The caller owns (and reuses) the buffer.
+    /// anything expired. The caller owns (and reuses) the buffer. Each
+    /// segment's RTO backs off exponentially with its retransmission count;
+    /// a message whose segment has already been retransmitted `max_retries`
+    /// times is abandoned and pushed onto `failures` instead.
     pub(crate) fn take_expired(
         &mut self,
         now: SimTime,
         config: &TransportConfig,
         expired: &mut Vec<(u64, u32, bool)>,
+        failures: &mut Vec<FailedMessage>,
     ) {
         let rto = self.cc.rto(config);
+        // Abandon messages that exhausted the retry budget: one expired
+        // segment at the cap fails the whole message (stream semantics — a
+        // hole can never be filled once we give up on it).
+        let mut i = 0;
+        while i < self.msgs.len() {
+            let give_up = self.msgs[i].segs.iter().flatten().any(|e| {
+                e.retx >= config.max_retries
+                    && now.saturating_since(e.sent_at) >= backed_off_rto(rto, e.retx, config)
+            });
+            if !give_up {
+                i += 1;
+                continue;
+            }
+            let msg = self.msgs.remove(i);
+            self.send_order.retain(|&id| id != msg.msg_id);
+            self.inflight -= msg.segs.iter().flatten().count();
+            self.stats.failed_messages += 1;
+            failures.push(FailedMessage {
+                flow: self.flow,
+                msg_id: msg.msg_id,
+                issued_at: msg.issued_at,
+                failed_at: now,
+                size_bytes: msg.size_bytes,
+            });
+        }
         let before = expired.len();
         for msg in &self.msgs {
             for (seq, entry) in msg.segs.iter().enumerate() {
                 let Some(entry) = entry else { continue };
-                if now.saturating_since(entry.sent_at) >= rto {
+                if now.saturating_since(entry.sent_at) >= backed_off_rto(rto, entry.retx, config)
+                {
                     let seq = seq as u32;
                     expired.push((msg.msg_id, seq, seq + 1 == msg.total_segs));
                 }
@@ -265,5 +308,94 @@ impl Connection {
             // because retransmission order is a correctness contract here.
             expired[before..].sort_unstable();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_backoff_doubles_and_caps() {
+        let c = TransportConfig::default();
+        let base = SimDuration::from_us(500);
+        assert_eq!(backed_off_rto(base, 0, &c), base);
+        assert_eq!(backed_off_rto(base, 1, &c), base * 2);
+        assert_eq!(backed_off_rto(base, 3, &c), base * 8);
+        // 500us * 2^10 = 512ms, far over the 10ms cap.
+        assert_eq!(backed_off_rto(base, 10, &c), c.max_rto);
+        // Huge retx counts must not overflow.
+        assert_eq!(backed_off_rto(base, u32::MAX, &c), c.max_rto);
+    }
+
+    #[test]
+    fn rto_cap_never_lowers_a_large_base() {
+        let c = TransportConfig {
+            max_rto: SimDuration::from_ms(1),
+            ..TransportConfig::default()
+        };
+        let base = SimDuration::from_ms(5); // already above the cap
+        assert_eq!(backed_off_rto(base, 0, &c), base);
+        assert_eq!(backed_off_rto(base, 4, &c), base);
+    }
+
+    #[test]
+    fn backoff_factor_one_disables() {
+        let c = TransportConfig {
+            rto_backoff: 1.0,
+            ..TransportConfig::default()
+        };
+        let base = SimDuration::from_us(500);
+        assert_eq!(backed_off_rto(base, 7, &c), base);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_message() {
+        let c = TransportConfig {
+            max_retries: 2,
+            ..TransportConfig::default()
+        };
+        let flow = FlowKey {
+            src: aequitas_netsim::HostId(0),
+            dst: aequitas_netsim::HostId(1),
+            class: 0,
+        };
+        let mut conn = Connection::new(flow, &c);
+        conn.enqueue_message(7, 4096, c.mtu_bytes, SimTime::ZERO);
+        assert!(matches!(
+            conn.next_transmission(SimTime::ZERO, &c),
+            Transmit::Segment { msg_id: 7, seq: 0, .. }
+        ));
+        conn.mark_sent(7, 0, SimTime::ZERO, &c);
+
+        let mut expired = Vec::new();
+        let mut failures = Vec::new();
+        let mut now = SimTime::ZERO;
+        // Let the segment expire repeatedly; each pass retransmits it until
+        // the retry budget runs out, at which point the message fails.
+        for _ in 0..10 {
+            now += SimDuration::from_ms(50); // far past any backed-off RTO
+            expired.clear();
+            conn.take_expired(now, &c, &mut expired, &mut failures);
+            if !failures.is_empty() {
+                break;
+            }
+            for &(msg_id, seq, _) in &expired {
+                conn.mark_sent(msg_id, seq, now, &c);
+            }
+        }
+        assert_eq!(failures.len(), 1);
+        let f = &failures[0];
+        assert_eq!((f.msg_id, f.size_bytes), (7, 4096));
+        assert_eq!(conn.stats().failed_messages, 1);
+        assert_eq!(conn.stats().retransmits, c.max_retries as u64);
+        assert_eq!(conn.inflight(), 0);
+        assert_eq!(conn.pending_messages(), 0);
+        // The connection stays usable for new messages.
+        conn.enqueue_message(8, 4096, c.mtu_bytes, now);
+        assert!(matches!(
+            conn.next_transmission(now, &c),
+            Transmit::Segment { msg_id: 8, .. }
+        ));
     }
 }

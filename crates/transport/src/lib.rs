@@ -71,6 +71,24 @@ impl CompletedMessage {
     }
 }
 
+/// A message abandoned after exhausting its retransmission budget
+/// ([`TransportConfig::max_retries`]), e.g. across a link outage longer than
+/// the backed-off RTO schedule tolerates. The RPC layer decides whether to
+/// re-issue it within the caller's deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedMessage {
+    /// Connection the message ran on.
+    pub flow: FlowKey,
+    /// Sender-unique message id.
+    pub msg_id: u64,
+    /// When the message was handed to the transport.
+    pub issued_at: SimTime,
+    /// When the transport gave up on it.
+    pub failed_at: SimTime,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+}
+
 /// Sender+receiver transport state for one host.
 pub struct Transport {
     host: HostId,
@@ -83,6 +101,7 @@ pub struct Transport {
     /// on demand to `(dst + 1) * CLASS_SLOTS` entries.
     conn_index: Vec<u32>,
     completions: Vec<CompletedMessage>,
+    failures: Vec<FailedMessage>,
     /// Scratch buffer reused by [`Transport::handle_timer`] scans.
     expired_scratch: Vec<(u64, u32, bool)>,
     retx_timer_armed: bool,
@@ -102,6 +121,7 @@ impl Transport {
             conns: Vec::new(),
             conn_index: Vec::new(),
             completions: Vec::new(),
+            failures: Vec::new(),
             expired_scratch: Vec::new(),
             retx_timer_armed: false,
             next_pace_wake: SimTime::MAX,
@@ -244,10 +264,26 @@ impl Transport {
         // `conns` by index (creation order) keeps the retransmission order
         // identical across runs and avoids collecting keys into a fresh Vec.
         let mut expired = std::mem::take(&mut self.expired_scratch);
+        let mut failures = std::mem::take(&mut self.failures);
         for idx in 0..self.conns.len() {
             let now = ctx.now();
             expired.clear();
-            self.conns[idx].take_expired(now, &self.config, &mut expired);
+            let failed_before = failures.len();
+            self.conns[idx].take_expired(now, &self.config, &mut expired, &mut failures);
+            if self.telemetry.is_enabled() {
+                for f in &failures[failed_before..] {
+                    self.telemetry.emit(
+                        now,
+                        TraceEvent::Warn {
+                            component: "transport".into(),
+                            message: format!(
+                                "message {:#x} to host {} abandoned after {} retries",
+                                f.msg_id, f.flow.dst.0, self.config.max_retries
+                            ),
+                        },
+                    );
+                }
+            }
             for &(msg_id, seq, is_last) in &expired {
                 self.transmit_segment(ctx, idx, msg_id, seq, is_last);
                 if self.telemetry.is_enabled() {
@@ -278,6 +314,7 @@ impl Transport {
         }
         expired.clear();
         self.expired_scratch = expired;
+        self.failures = failures;
         self.arm_retx_timer(ctx);
         true
     }
@@ -285,6 +322,11 @@ impl Transport {
     /// Drain completed messages.
     pub fn take_completions(&mut self) -> Vec<CompletedMessage> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Drain messages abandoned after exhausting their retry budget.
+    pub fn take_failures(&mut self) -> Vec<FailedMessage> {
+        std::mem::take(&mut self.failures)
     }
 
     /// Congestion window of a connection (packets), if it exists.

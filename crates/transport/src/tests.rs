@@ -346,6 +346,141 @@ fn fault_injection_losses_are_recovered() {
 }
 
 #[test]
+fn structured_loss_plan_is_recovered_by_retransmission() {
+    // A 2% per-packet loss rule on the sender's uplink from the structured
+    // fault plan: every message still completes, via (backed-off) retx.
+    use aequitas_netsim::faults::{FaultPlan, LinkSel, LossRule};
+    let scripts = vec![
+        (0..200)
+            .map(|i| (SimTime::from_us(i * 4), HostId(1), 0u8, 32_768u64))
+            .collect(),
+        vec![],
+    ];
+    let agents: Vec<ScriptedHost> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| ScriptedHost::new(HostId(i), TransportConfig::default(), s))
+        .collect();
+    let mut config = EngineConfig::default_3qos();
+    config.faults = Some(std::sync::Arc::new(FaultPlan {
+        seed: 21,
+        loss: vec![LossRule {
+            link: LinkSel::HostUp(0),
+            prob: 0.02,
+            burst: None,
+        }],
+        ..FaultPlan::default()
+    }));
+    let mut eng = Engine::new(star(2), agents, config);
+    eng.run_until(SimTime::from_ms(300));
+    let (drops, _) = eng.fault_loss_totals();
+    assert!(drops > 0, "loss rule never fired");
+    assert_eq!(eng.agents()[0].completed.len(), 200);
+    let flow = aequitas_netsim::FlowKey {
+        src: HostId(0),
+        dst: HostId(1),
+        class: 0,
+    };
+    let stats = eng.agents()[0]
+        .transport
+        .connection_stats(&flow)
+        .expect("connection exists");
+    assert!(stats.retransmits > 0);
+    assert_eq!(stats.failed_messages, 0, "2% loss must not exhaust retries");
+}
+
+#[test]
+fn outage_longer_than_retry_budget_fails_messages() {
+    // The sender's uplink goes down just after the messages are issued and
+    // stays down for 100 ms. A tight retry budget (3 retries, 1 ms RTO cap)
+    // gives up within ~8 ms; the messages must surface as failures, not
+    // hang, and the transport must go quiet (no retx timer storm).
+    use aequitas_netsim::faults::{FaultPlan, LinkFlap, LinkSel};
+    let tcfg = TransportConfig {
+        max_retries: 3,
+        max_rto: SimDuration::from_ms(1),
+        ..TransportConfig::default()
+    };
+    let scripts = vec![
+        vec![
+            (SimTime::ZERO, HostId(1), 0u8, 32_768u64),
+            (SimTime::ZERO, HostId(1), 0u8, 32_768u64),
+        ],
+        vec![],
+    ];
+    let agents: Vec<ScriptedHost> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| ScriptedHost::new(HostId(i), tcfg.clone(), s))
+        .collect();
+    let mut config = EngineConfig::default_3qos();
+    config.faults = Some(std::sync::Arc::new(FaultPlan {
+        seed: 1,
+        flaps: vec![LinkFlap {
+            link: LinkSel::HostUp(0),
+            first_down: SimTime::ZERO,
+            down: SimDuration::from_ms(100),
+            period: SimDuration::from_ms(100),
+            count: 1,
+        }],
+        ..FaultPlan::default()
+    }));
+    let mut eng = Engine::new(star(2), agents, config);
+    eng.run_until(SimTime::from_ms(50));
+    let host = &mut eng.agents_mut()[0];
+    assert!(host.completed.is_empty());
+    let failures = host.transport.take_failures();
+    assert_eq!(failures.len(), 2, "both messages must be abandoned");
+    for f in &failures {
+        assert_eq!(f.size_bytes, 32_768);
+        assert!(f.failed_at < SimTime::from_ms(50));
+    }
+}
+
+#[test]
+fn short_flap_is_ridden_out_by_backoff() {
+    // A 3 ms mid-transfer outage: the default budget (64 retries, 10 ms RTO
+    // cap) rides it out, and everything completes after the link returns.
+    use aequitas_netsim::faults::{FaultPlan, LinkFlap, LinkSel};
+    let scripts = vec![
+        (0..50)
+            .map(|i| (SimTime::from_us(i * 10), HostId(1), 0u8, 32_768u64))
+            .collect(),
+        vec![],
+    ];
+    let agents: Vec<ScriptedHost> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| ScriptedHost::new(HostId(i), TransportConfig::default(), s))
+        .collect();
+    let mut config = EngineConfig::default_3qos();
+    config.faults = Some(std::sync::Arc::new(FaultPlan {
+        seed: 2,
+        flaps: vec![LinkFlap {
+            link: LinkSel::SwitchPort { switch: 0, port: 1 },
+            first_down: SimTime::from_us(200),
+            down: SimDuration::from_ms(3),
+            period: SimDuration::from_ms(3),
+            count: 1,
+        }],
+        ..FaultPlan::default()
+    }));
+    let mut eng = Engine::new(star(2), agents, config);
+    eng.run_until(SimTime::from_ms(100));
+    assert_eq!(eng.agents()[0].completed.len(), 50, "all messages recover");
+    let flow = aequitas_netsim::FlowKey {
+        src: HostId(0),
+        dst: HostId(1),
+        class: 0,
+    };
+    let stats = eng.agents()[0]
+        .transport
+        .connection_stats(&flow)
+        .expect("connection exists");
+    assert_eq!(stats.failed_messages, 0);
+}
+
+#[test]
 fn deterministic_fault_injection() {
     let run = || {
         let scripts = vec![

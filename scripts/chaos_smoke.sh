@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Chaos smoke: end-to-end checks of the fault-injection subsystem through
+# the CLI.
+#
+#   1. `--faults PLAN.toml` loads an operator-written plan, injects it into
+#      an ordinary experiment, and the fault lifecycle events (link down/up,
+#      fault drops) appear in the structured trace.
+#   2. The chaos scenarios are deterministic: two runs of chaos-flap print
+#      byte-identical output (the report includes a digest over every
+#      completion).
+#   3. The simsan sanitizer observes without steering: chaos-flap output is
+#      byte-identical with and without the feature (dev profile, matching
+#      the ci.sh simsan diff).
+#
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== build (release) =="
+cargo build -q --release --offline -p aequitas-experiments
+
+echo "== fault plan through --faults + --trace =="
+PLAN="$OUT/plan.toml"
+cat > "$PLAN" <<'EOF'
+# Smoke plan: one flap on host 0's uplink inside the trace-demo run, plus
+# mild everywhere loss.
+seed = 99
+
+[[link_flap]]
+link = "host:0"
+first_down_us = 1500.0
+down_us = 200.0
+period_us = 1000000.0
+count = 1
+
+[[loss]]
+link = "any"
+prob = 0.01
+EOF
+TRACE="$OUT/trace.jsonl"
+target/release/aequitas-sim run trace-demo --faults "$PLAN" --trace "$TRACE" >/dev/null
+[ -s "$TRACE" ] || { echo "FAIL: trace file empty" >&2; exit 1; }
+for ev in fault_link_down fault_link_up fault_pkt_drop; do
+    grep -q "\"type\":\"$ev\"" "$TRACE" \
+        || { echo "FAIL: no $ev events in the trace" >&2; exit 1; }
+done
+echo "ok: fault lifecycle events present in the trace"
+
+echo "== rejects a malformed plan =="
+BAD="$OUT/bad.toml"
+printf '[[loss]]\nlink = "any"\nprobability = 0.5\n' > "$BAD"
+if target/release/aequitas-sim run trace-demo --faults "$BAD" >/dev/null 2>"$OUT/err.txt"; then
+    echo "FAIL: malformed plan was accepted" >&2; exit 1
+fi
+grep -q "unknown key" "$OUT/err.txt" \
+    || { echo "FAIL: unexpected error for malformed plan:" >&2; cat "$OUT/err.txt" >&2; exit 1; }
+echo "ok: malformed plan rejected with a diagnostic"
+
+echo "== chaos-flap determinism =="
+target/release/aequitas-sim run chaos-flap > "$OUT/flap-1.txt"
+target/release/aequitas-sim run chaos-flap > "$OUT/flap-2.txt"
+diff "$OUT/flap-1.txt" "$OUT/flap-2.txt" \
+    || { echo "FAIL: chaos-flap runs differ" >&2; exit 1; }
+echo "ok: two chaos-flap runs byte-identical"
+
+echo "== chaos-flap simsan diff =="
+# Dev profile like the ci.sh simsan diff: both artifact trees are warm when
+# this runs after the test jobs.
+cargo run -q --offline -p aequitas-experiments --bin aequitas-sim \
+    run chaos-flap > "$OUT/flap-san-off.txt"
+cargo run -q --offline -p aequitas-experiments --features simsan --bin aequitas-sim \
+    run chaos-flap > "$OUT/flap-san-on.txt"
+diff "$OUT/flap-san-off.txt" "$OUT/flap-san-on.txt" \
+    || { echo "FAIL: simsan perturbed the chaos run" >&2; exit 1; }
+echo "ok: simsan on/off byte-identical"
+
+echo "chaos smoke passed"

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: first-party lint, release build, tier-1 tests, the simsan
 # (simulation sanitizer) test job, a simsan determinism diff, clippy with
-# warnings denied, and the telemetry trace smoke. The long fig11 invariance
-# test is skipped here for the same reason perf_smoke.sh skips it (it
-# re-runs the fig11 sweep three times); run `cargo test` with no filter for
-# the full suite.
+# warnings denied, and the telemetry + chaos smokes. The long fig11
+# invariance test is skipped here for the same reason perf_smoke.sh skips
+# it (it re-runs the fig11 sweep three times); run `cargo test` with no
+# filter for the full suite.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -17,17 +17,8 @@ echo "== build (release) =="
 cargo build --release --offline
 
 echo "== tier-1 tests =="
-# Two known-failing tests predate this gate and are skipped so the gate
-# stays green for new regressions (both fail with byte-identical output
-# with or without telemetry wired in):
-#   - pdq_meets_deadlines_at_low_load: PDQ baseline misses its deadline
-#     hit-rate target at low load; needs a pacing-model rework.
-#   - wfq_implementations_agree: WFQ/DWRR admitted shares diverge beyond
-#     the 0.10 tolerance on the quick-scale run; same re-tuning bucket.
 SKIPS=(
     --skip fig11_is_invariant_under_threads_and_queue_backend
-    --skip pdq_meets_deadlines_at_low_load
-    --skip wfq_implementations_agree
 )
 cargo test -q --offline -- "${SKIPS[@]}"
 
@@ -54,5 +45,8 @@ cargo clippy -q --offline --all-targets -- -D warnings
 
 echo "== trace smoke =="
 scripts/trace_smoke.sh
+
+echo "== chaos smoke =="
+scripts/chaos_smoke.sh
 
 echo "ci passed"

@@ -1,0 +1,128 @@
+//! Chaos-harness integration tests: fault injection is deterministic, the
+//! control loops degrade gracefully under injected failures, and fault
+//! events reach the telemetry stream.
+
+use aequitas_experiments::chaos;
+use aequitas_experiments::harness::Scale;
+use aequitas_telemetry::{FlightRecorder, Telemetry, TelemetryConfig};
+use aequitas_sim_core::SimDuration;
+
+/// The whole point of the seeded fault layer: two runs of the same chaos
+/// scenario are byte-identical, and the scenario's invariants hold — the
+/// flapped channel is clamped and re-admitted, bystanders keep their SLO,
+/// and no RPC is silently lost.
+#[test]
+fn link_flap_is_contained_and_deterministic() {
+    let a = chaos::link_flap(Scale::quick());
+    let b = chaos::link_flap(Scale::quick());
+    assert_eq!(a.digest, b.digest, "fault injection must be deterministic");
+    assert_eq!(a.flapped_done, b.flapped_done);
+    assert_eq!(a.fault_drops, b.fault_drops);
+
+    // Pre-flap the channel is healthy and fully admitted.
+    assert!(a.p_admit[0] > 0.9, "pre-flap p_admit {:.2}", a.p_admit[0]);
+    // The stale completions arriving after the flap slam it to the floor...
+    assert!(
+        a.p_admit[1] < 0.1,
+        "post-flap minimum p_admit {:.2} should reflect the MD reaction",
+        a.p_admit[1]
+    );
+    // ...and the floor probe stream re-admits it once RNL is healthy again.
+    assert!(
+        a.p_admit[2] > 0.5,
+        "end-of-run p_admit {:.2} should show re-admission",
+        a.p_admit[2]
+    );
+
+    // Blast radius: unaffected hosts keep their QoSh tail within the SLO.
+    let others = a.others_p99_us.expect("bystander completions");
+    assert!(
+        others < a.slo_us,
+        "bystander QoSh p99 {others:.1} us breached the {} us SLO",
+        a.slo_us
+    );
+
+    // Loss recovery: frames were dropped, yet every issued RPC either
+    // completed or is still in flight — none failed, none vanished.
+    assert!(a.fault_drops > 0, "the loss rule should have fired");
+    assert_eq!(a.flapped_failures, 0, "no RPC should exhaust its budget");
+    assert_eq!(
+        a.flapped_done + a.flapped_outstanding,
+        a.flapped_issued as usize,
+        "RPCs lost without a trace"
+    );
+}
+
+/// Quota-server outage: the guaranteed tenant keeps at least its decayed
+/// floor share through the outage and snaps back to the full guarantee
+/// after recovery.
+#[test]
+fn quota_outage_degrades_gracefully_and_recovers() {
+    let r = chaos::quota_outage(Scale::quick());
+    let [pre, during, post] = r.tenant0_gbps;
+
+    // Before the outage the guarantee (plus its share of the remainder) is
+    // honored.
+    assert!(
+        pre > r.guarantee_gbps,
+        "pre-outage goodput {pre:.1} below the {} Gbps guarantee",
+        r.guarantee_gbps
+    );
+    // During the outage grants decay toward the floor, never below it.
+    assert!(
+        during > pre * r.floor_frac * 0.8,
+        "outage goodput {during:.1} fell below the floored share \
+         ({pre:.1} x {:.2})",
+        r.floor_frac
+    );
+    // After the server returns, the first real grant snaps back.
+    assert!(
+        post > pre * 0.8,
+        "post-outage goodput {post:.1} did not recover toward {pre:.1}"
+    );
+    // The control loop saw exactly one down and one up transition.
+    assert_eq!(r.transitions, 2, "expected one outage window");
+}
+
+/// Fault lifecycle events are part of the structured trace stream: a
+/// recorded link-flap run carries link-down/up and fault-drop events, and a
+/// recorded quota-outage run carries the outage transitions.
+#[test]
+fn fault_events_reach_the_flight_recorder() {
+    let recorder = FlightRecorder::new(4_000_000);
+    let tel = Telemetry::with_sink(
+        recorder.clone(),
+        TelemetryConfig {
+            sample_every: SimDuration::from_ms(1),
+        },
+    );
+    chaos::link_flap_traced(Scale::quick(), tel);
+    let lines = recorder.dump();
+    assert!(!lines.is_empty(), "no trace lines recorded");
+    for required in ["\"fault_link_down\"", "\"fault_link_up\"", "\"fault_pkt_drop\""] {
+        assert!(
+            lines.iter().any(|l| l.contains(required)),
+            "no {required} event in {} trace lines",
+            lines.len()
+        );
+    }
+
+    let recorder = FlightRecorder::new(4_000_000);
+    let tel = Telemetry::with_sink(
+        recorder.clone(),
+        TelemetryConfig {
+            sample_every: SimDuration::from_ms(1),
+        },
+    );
+    chaos::quota_outage_traced(Scale::quick(), tel);
+    let lines = recorder.dump();
+    let outages: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"fault_quota_outage\""))
+        .collect();
+    assert!(
+        outages.iter().any(|l| l.contains("\"down\":true"))
+            && outages.iter().any(|l| l.contains("\"down\":false")),
+        "expected both outage transitions in the trace, got {outages:?}"
+    );
+}

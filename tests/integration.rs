@@ -210,6 +210,18 @@ fn port_counters_conserve_offered_load() {
 
 /// DWRR and virtual-time WFQ are interchangeable fabric implementations:
 /// Aequitas converges to similar admitted shares on both.
+///
+/// Two requirements for the comparison to be well-posed:
+/// * The DWRR quantum must cover a full *wire* packet (payload MTU plus
+///   `HEADER_BYTES`). Shreedhar & Varghese require quantum >= max packet
+///   size for every backlogged class to send each round; a runt quantum
+///   makes the weight-1 class skip rotations, which distorts the 99.9p
+///   tail enough to flip the admission controller onto a different
+///   trajectory.
+/// * Both schedulers must run the *same seed*. The admitted share under
+///   2x overload is metastable (one 99.9p SLO miss collapses p_admit
+///   multiplicatively and recovery is additive), so the share varies far
+///   more across seeds than the implementations differ at any one seed.
 #[test]
 fn wfq_implementations_agree() {
     let run = |dwrr: bool, seed: u64| {
@@ -219,7 +231,7 @@ fn wfq_implementations_agree() {
         if dwrr {
             setup.engine.switch_scheduler = aequitas_netsim::SchedulerKind::Dwrr {
                 weights: vec![4.0, 1.0],
-                quantum: 4096,
+                quantum: 4096 + aequitas_netsim::packet::HEADER_BYTES,
             };
         }
         setup.mapping = QosMapping::two_level();
@@ -232,10 +244,12 @@ fn wfq_implementations_agree() {
         let r = run_macro(setup);
         admitted_mix(&r.completions, 2)[0]
     };
-    let wfq_share = run(false, 5);
-    let dwrr_share = run(true, 6);
-    assert!(
-        (wfq_share - dwrr_share).abs() < 0.10,
-        "WFQ {wfq_share} vs DWRR {dwrr_share}"
-    );
+    for seed in [5u64, 6] {
+        let wfq_share = run(false, seed);
+        let dwrr_share = run(true, seed);
+        assert!(
+            (wfq_share - dwrr_share).abs() < 0.10,
+            "seed {seed}: WFQ {wfq_share} vs DWRR {dwrr_share}"
+        );
+    }
 }
