@@ -134,6 +134,85 @@ fn bench_engine_events(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_arena(c: &mut Criterion) {
+    // Steady-state slot churn — the pattern the engine's event slab sees:
+    // a standing population, one remove + one insert per event. The Box
+    // baseline prices what each event used to cost on the allocator.
+    let mut g = c.benchmark_group("arena");
+    g.bench_function("slab_churn32", |b| {
+        let mut slab = aequitas_sim_core::Slab::with_capacity(64);
+        let mut live: Vec<_> = (0..32u64).map(|i| slab.insert([i; 4])).collect();
+        let mut k = 0usize;
+        b.iter(|| {
+            let v = slab.remove(live[k & 31]);
+            live[k & 31] = slab.insert(black_box(v));
+            k += 1;
+        });
+    });
+    g.bench_function("box_churn_baseline", |b| {
+        let mut live: Vec<_> = (0..32u64).map(|i| Box::new([i; 4])).collect();
+        let mut k = 0usize;
+        b.iter(|| {
+            let v = *live[k & 31];
+            // The "needless" allocation is the measurement: this baseline
+            // prices a dealloc+alloc round trip against slab churn.
+            #[allow(clippy::replace_box)]
+            {
+                live[k & 31] = Box::new(black_box(v));
+            }
+            k += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    // Per-window cost of the sharded engine: a 2-pod Clos (3 domains)
+    // advanced in 100 us slices (= 50 lookahead windows per iteration at
+    // the 2 us core propagation). Run at 1 thread this prices pure
+    // protocol overhead vs the plain engine; thread counts >1 only change
+    // wall clock, never results.
+    let mut g = c.benchmark_group("sharded_engine");
+    g.bench_function("clos3dom_100us_slice_1thread", |b| {
+        use aequitas_netsim::{LinkSpec, ShardSpec, Topology};
+        let core = LinkSpec {
+            rate: aequitas_sim_core::BitRate::from_gbps(100),
+            propagation: SimDuration::from_us(2),
+        };
+        let topo = Topology::clos(
+            2,
+            2,
+            2,
+            2,
+            2,
+            LinkSpec::default_100g(),
+            LinkSpec::default_100g(),
+            core,
+        );
+        let spec = ShardSpec::clos_pods(&topo, 2, 2, 2);
+        let n = topo.num_hosts();
+        let mut setup = aequitas_experiments::MacroSetup::star_3qos(n);
+        setup.topo = topo;
+        setup.duration = SimDuration::from_ms(1);
+        setup.warmup = SimDuration::ZERO;
+        setup.seed = 7;
+        for h in 0..n {
+            setup.workloads[h] = Some(aequitas_experiments::slo::node33_workload(
+                [0.6, 0.3, 0.1],
+                None,
+            ));
+        }
+        let mut eng = aequitas_experiments::harness::build_sharded_engine(setup, spec, 1);
+        let mut end = SimTime::ZERO;
+        b.iter(|| {
+            end += SimDuration::from_us(100);
+            eng.run_until(end);
+            black_box(eng.events_processed());
+        });
+    });
+    g.finish();
+}
+
 fn bench_admission(c: &mut Criterion) {
     c.bench_function("algorithm1_issue_and_completion", |b| {
         let config = AequitasConfig::three_qos(
@@ -173,6 +252,6 @@ fn bench_percentiles(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_schedulers, bench_event_queue, bench_engine_events, bench_admission, bench_percentiles
+    targets = bench_schedulers, bench_event_queue, bench_engine_events, bench_arena, bench_sharded_engine, bench_admission, bench_percentiles
 );
 criterion_main!(micro);

@@ -144,6 +144,11 @@ fn entries() -> Vec<Entry> {
             },
         },
         Entry {
+            name: "fleet-scale",
+            about: "multi-thousand-host Clos on the sharded parallel engine",
+            run: |s| fleet::print_fleet(&fleet::fleet(s)),
+        },
+        Entry {
             name: "trace-demo",
             about: "tiny full-stack Aequitas run for telemetry smoke/demo",
             run: |s| demo::print_trace_demo(&demo::trace_demo(s)),

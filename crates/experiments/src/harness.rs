@@ -2,7 +2,7 @@
 //! running them with periodic sampling, and collecting results.
 
 use aequitas::AequitasConfig;
-use aequitas_netsim::{Engine, EngineConfig, HostId, LinkSpec, Topology};
+use aequitas_netsim::{Engine, EngineConfig, HostId, LinkSpec, ShardSpec, ShardedEngine, Topology};
 use aequitas_rpc::{Policy, RpcCompletion, RpcStack, WorkloadHost, WorkloadSpec};
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
 use aequitas_telemetry::Telemetry;
@@ -107,24 +107,16 @@ impl MacroSetup {
         self.topo.host_ports[0].link.rate
     }
 
-    fn build(mut self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
-        // A CLI-installed fault plan (--faults) applies to every run that
-        // does not carry a scenario-specific plan of its own.
-        if self.engine.faults.is_none() {
-            self.engine.faults = crate::chaos::global_fault_plan();
-        }
+    /// Build one [`WorkloadHost`] per host, in host-id order. Seeds and
+    /// policy construction depend only on `(seed, h)` — a sharded run
+    /// calling this once gets byte-identical agents to an unsharded one.
+    fn build_agents(&mut self, telemetry: &Telemetry) -> Vec<WorkloadHost> {
         let n = self.topo.num_hosts();
         assert_eq!(self.workloads.len(), n);
         let line_rate = self.line_rate();
-        let telemetry = if self.telemetry.is_enabled() {
-            self.telemetry.clone()
-        } else {
-            aequitas_telemetry::global()
-        };
-        let mut overrides = self.policy_overrides;
+        let mut overrides = std::mem::take(&mut self.policy_overrides);
         overrides.resize_with(n, || None);
-        let agents: Vec<WorkloadHost> = self
-            .workloads
+        std::mem::take(&mut self.workloads)
             .into_iter()
             .enumerate()
             .map(|(h, spec)| {
@@ -154,7 +146,21 @@ impl MacroSetup {
                 }
                 WorkloadHost::new(stack, spec, n, line_rate, self.seed ^ (h as u64) << 8)
             })
-            .collect();
+            .collect()
+    }
+
+    fn build(mut self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
+        // A CLI-installed fault plan (--faults) applies to every run that
+        // does not carry a scenario-specific plan of its own.
+        if self.engine.faults.is_none() {
+            self.engine.faults = crate::chaos::global_fault_plan();
+        }
+        let telemetry = if self.telemetry.is_enabled() {
+            self.telemetry.clone()
+        } else {
+            aequitas_telemetry::global()
+        };
+        let agents = self.build_agents(&telemetry);
         let mut engine = Engine::new(self.topo, agents, self.engine);
         if telemetry.is_enabled() {
             engine.set_telemetry(telemetry);
@@ -266,6 +272,65 @@ where
     let mut warmup_completions = Vec::new();
     let mut issued = 0;
     for host in engine.agents_mut() {
+        issued += host.issued();
+        for c in host.take_completions() {
+            if c.issued_at >= warmup_t {
+                completions.push(c);
+            } else {
+                warmup_completions.push(c);
+            }
+        }
+    }
+    completions.sort_by_key(|c| c.completed_at);
+    MacroResult {
+        completions,
+        warmup_completions,
+        issued,
+        measure_secs: (duration.saturating_sub(warmup)).as_secs_f64(),
+        events: engine.events_processed(),
+    }
+}
+
+/// Build (without running) the sharded engine for `setup` — the bench
+/// harness advances it in slices to price per-window synchronization.
+/// Telemetry is not wired (see [`run_macro_sharded`]).
+pub fn build_sharded_engine(
+    mut setup: MacroSetup,
+    spec: ShardSpec,
+    threads: usize,
+) -> ShardedEngine<WorkloadHost> {
+    if setup.engine.faults.is_none() {
+        setup.engine.faults = crate::chaos::global_fault_plan();
+    }
+    let agents = setup.build_agents(&Telemetry::disabled());
+    ShardedEngine::new(setup.topo, agents, setup.engine, spec, threads)
+}
+
+/// Run a macro experiment on the sharded parallel engine: the fabric is
+/// partitioned per `spec` and advanced on `threads` workers in conservative
+/// lookahead windows (see `aequitas_netsim::shard`). Results are
+/// byte-identical for every `threads` value.
+///
+/// Differences from [`run_macro`]: no mid-run sampling hook (domains only
+/// synchronize at horizons) and telemetry is not wired through — a handle
+/// shared by concurrently-running domains would interleave trace lines
+/// nondeterministically. Fleet-scale runs are measured through completions
+/// and port stats instead.
+pub fn run_macro_sharded(setup: MacroSetup, spec: ShardSpec, threads: usize) -> MacroResult {
+    let duration = setup.duration;
+    let warmup = setup.warmup;
+    let mut engine = build_sharded_engine(setup, spec, threads);
+    let n = engine.spec().domain_of_host.len();
+    engine.run_until(SimTime::ZERO + duration);
+
+    let warmup_t = SimTime::ZERO + warmup;
+    let mut completions = Vec::new();
+    let mut warmup_completions = Vec::new();
+    let mut issued = 0;
+    // Harvest in host-id order (crossing domains as needed) so the result
+    // layout is independent of the partition.
+    for h in 0..n {
+        let host = engine.agent_mut(HostId(h));
         issued += host.issued();
         for c in host.take_completions() {
             if c.issued_at >= warmup_t {

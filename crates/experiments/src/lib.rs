@@ -17,6 +17,7 @@
 //! | [`spq`] | Fig. 19 (strict priority comparison) |
 //! | [`sizes_fig`] | Figs. 1, 20 (size CDFs, mixed-size SLOs) |
 //! | [`large`] | Figs. 21, 23 (144-node production sizes, testbed analogue) |
+//! | [`fleet`] | Fleet-scale 3-tier Clos on the sharded parallel engine |
 //! | [`related`] | Fig. 22 (pFabric/QJump/D3/PDQ/Homa comparison) |
 //! | [`production`] | Figs. 3, 4, 5, 24 (overload episode, fleet alignment) |
 //! | [`chaos`] | Fault injection: link flaps, loss, quota-server outages |
@@ -25,6 +26,7 @@ pub mod chaos;
 pub mod demo;
 pub mod ext;
 pub mod fairness;
+pub mod fleet;
 pub mod harness;
 pub mod large;
 pub mod mix;

@@ -93,12 +93,25 @@ pub fn fig11_configured(scale: Scale, threads: usize, queue: QueueKind) -> Fig11
         &[15.0, 25.0, 40.0, 60.0]
     };
     let points = crate::parallel::run_sweep_on(threads, sweep.to_vec(), |slo_us| {
-        fig11_point(scale, slo_us, queue)
+        fig11_point(scale, slo_us, queue, 1.0)
     });
     Fig11Result { points }
 }
 
-fn fig11_point(scale: Scale, slo_us: f64, queue: QueueKind) -> Fig11Point {
+/// A fast Fig. 11 probe for the determinism gate: two sweep points at 5% of
+/// the normal duration. The absolute numbers are far from equilibrium and
+/// meaningless as a reproduction — what matters is that the output is a
+/// pure function of the setup, so running it at 1 vs N sweep workers and
+/// heap vs calendar event queues must agree bit-for-bit. The full-length
+/// variant ([`fig11_configured`]) stays available behind `--ignored`.
+pub fn fig11_invariance_probe(threads: usize, queue: QueueKind) -> Fig11Result {
+    let points = crate::parallel::run_sweep_on(threads, vec![15.0, 40.0], |slo_us| {
+        fig11_point(Scale::quick(), slo_us, queue, 0.05)
+    });
+    Fig11Result { points }
+}
+
+fn fig11_point(scale: Scale, slo_us: f64, queue: QueueKind, duration_factor: f64) -> Fig11Point {
     {
         let mut setup = MacroSetup::star_3qos(3);
         setup.engine = aequitas_netsim::EngineConfig::default_2qos();
@@ -117,10 +130,12 @@ fn fig11_point(scale: Scale, slo_us: f64, queue: QueueKind) -> Fig11Point {
         // the order of a hundred windows to reach equilibrium.
         let window_ms = slo_us / 8.0; // per-MTU target in us == window in ms at 99.9p
         let base = 40.0 + 100.0 * window_ms;
-        setup.duration = scale.pick(
-            SimDuration::from_secs_f64(base / 1e3),
-            SimDuration::from_secs_f64(base * 3.0 / 1e3),
-        );
+        setup.duration = scale
+            .pick(
+                SimDuration::from_secs_f64(base / 1e3),
+                SimDuration::from_secs_f64(base * 3.0 / 1e3),
+            )
+            .mul_f64(duration_factor);
         setup.warmup = setup.duration.mul_f64(0.5);
         setup.seed = 42 + slo_us as u64;
         setup.workloads[0] = Some(fig11_workload());

@@ -94,10 +94,30 @@ pub const RULES: &[RuleInfo] = &[
         name: "todo-marker",
         desc: "todo!/unimplemented! in non-test code panics at runtime; finish it or return an error",
     },
+    RuleInfo {
+        id: "AQ011",
+        name: "hot-path-allocation",
+        desc: "Box::new/vec!/Vec::new in per-event modules; recycle via sim-core arena (Slab/VecPool), preallocate with with_capacity, or justify with an `alloc:` comment",
+    },
 ];
 
 /// Hot-path crates for AQ006.
 const HOT_PATH: &[&str] = &["sim-core", "netsim", "qdisc", "transport"];
+
+/// Per-event modules for AQ011 — finer-grained than the AQ006 crate list,
+/// because hot crates contain plenty of legitimately-allocating cold code
+/// (topology builders, config structs, stats harvest). Entries ending in
+/// `/` cover a whole directory.
+const HOT_ALLOC_MODULES: &[&str] = &[
+    "crates/sim-core/src/event.rs",
+    "crates/sim-core/src/arena.rs",
+    "crates/netsim/src/engine.rs",
+    "crates/netsim/src/shard.rs",
+    "crates/netsim/src/port.rs",
+    "crates/netsim/src/packet.rs",
+    "crates/qdisc/src/",
+    "crates/transport/src/",
+];
 
 /// Everything a rule needs to know about one file.
 pub struct FileCtx<'a> {
@@ -320,6 +340,9 @@ pub fn check_file(cfg: &Config, rel: &str, toks: &[Tok], out: &mut Vec<Finding>)
     }
     if enabled("AQ010") {
         aq010_todo(&ctx, out);
+    }
+    if enabled("AQ011") {
+        aq011_hot_alloc(&ctx, out);
     }
 }
 
@@ -626,6 +649,56 @@ fn aq010_todo(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// AQ011: heap allocation on the per-event path. `Box::new`, `vec![...]`,
+/// and `Vec::new()` (which starts at capacity 0 and reallocates as it
+/// grows) churn the allocator once per packet/event; the sanctioned forms
+/// are the sim-core arena types (`Slab`, `VecPool`), `Vec::with_capacity`
+/// at setup time, or buffer reuse. An `alloc:` comment marks audited
+/// cold-path allocations (setup code that happens to live in a hot
+/// module).
+fn aq011_hot_alloc(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let hot = HOT_ALLOC_MODULES
+        .iter()
+        .any(|m| ctx.rel == *m || (m.ends_with('/') && ctx.rel.starts_with(m)));
+    if !hot {
+        return;
+    }
+    let n = ctx.code.len();
+    let mut fire = |t: &Tok, what: &str| {
+        if ctx.in_test(t.line) || ctx.justified(t.line, "alloc:") {
+            return;
+        }
+        finding(
+            out,
+            "AQ011",
+            ctx,
+            t,
+            format!(
+                "`{what}` allocates on a per-event module; recycle via Slab/VecPool, \
+                 preallocate with with_capacity, or justify with an `alloc:` comment"
+            ),
+        );
+    };
+    for w in 0..n.saturating_sub(1) {
+        let t = ctx.c(w);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "vec" && ctx.c(w + 1).text == "!" {
+            fire(t, "vec!");
+            continue;
+        }
+        if (t.text == "Box" || t.text == "Vec")
+            && w + 3 < n
+            && ctx.c(w + 1).text == ":"
+            && ctx.c(w + 2).text == ":"
+            && ctx.c(w + 3).text == "new"
+        {
+            fire(t, if t.text == "Box" { "Box::new" } else { "Vec::new" });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,6 +880,39 @@ fn f() {
         assert!(run(
             "crates/core/src/lib.rs",
             "#[cfg(test)]\nmod t { fn f() { todo!() } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn aq011_hot_path_allocation() {
+        // All three forms fire in a designated per-event module.
+        let f = run(
+            "crates/netsim/src/engine.rs",
+            "fn f() { let b = Box::new(ev); let v = Vec::new(); let w = vec![0; 4]; }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ011", "AQ011", "AQ011"]);
+        // with_capacity is the sanctioned preallocation.
+        assert!(run(
+            "crates/netsim/src/engine.rs",
+            "fn f() { let v: Vec<u32> = Vec::with_capacity(1024); }"
+        )
+        .is_empty());
+        // An `alloc:` justification on the line above escapes.
+        assert!(run(
+            "crates/qdisc/src/wfq.rs",
+            "// alloc: once per port at setup, never per packet\nfn f() { let v = Vec::new(); }"
+        )
+        .is_empty());
+        // Cold modules of hot crates (e.g. the topology builder) and other
+        // crates are out of scope.
+        let src = "fn f() { let v = vec![0; 4]; }";
+        assert!(run("crates/netsim/src/topology.rs", src).is_empty());
+        assert!(run("crates/experiments/src/slo.rs", src).is_empty());
+        // Test code may allocate.
+        assert!(run(
+            "crates/netsim/src/engine.rs",
+            "#[cfg(test)]\nmod t { fn f() { let v = vec![1]; } }"
         )
         .is_empty());
     }

@@ -2,11 +2,15 @@
 
 use crate::packet::Packet;
 use crate::port::{Port, PortStats, SchedulerKind};
+use crate::shard::{Boundary, ShardRole, ShardSpec};
 use crate::topology::{HostId, NodeRef, SwitchId, Topology};
 use aequitas_faults::{FaultPlan, LinkId as FaultLinkId, PacketFate};
-use aequitas_sim_core::{EventQueue, QueueKind, SimDuration, SimRng, SimTime};
+use aequitas_sim_core::{EventQueue, QueueKind, SimDuration, SimRng, SimTime, Slab, SlotId};
 use aequitas_telemetry::{labels, NodeKind, Telemetry, TraceEvent};
 use std::sync::Arc;
+
+/// Sentinel rank for hosts not owned by this engine (sharded mode).
+const NO_AGENT: u32 = u32::MAX;
 
 fn node_tag(node: NodeRef) -> (NodeKind, usize) {
     match node {
@@ -62,6 +66,7 @@ impl EngineConfig {
     /// The paper's default fabric: 3 QoS classes, WFQ 8:4:1, 2 MB port
     /// buffers, matching host NIC scheduling.
     pub fn default_3qos() -> Self {
+        // alloc: config constructor, runs once per engine build
         let weights = vec![8.0, 4.0, 1.0];
         EngineConfig {
             switch_scheduler: SchedulerKind::Wfq(weights.clone()),
@@ -78,6 +83,7 @@ impl EngineConfig {
 
     /// 2-QoS variant with weights 4:1 (the §6.2 microbenchmarks).
     pub fn default_2qos() -> Self {
+        // alloc: config constructor, runs once per engine build
         let weights = vec![4.0, 1.0];
         EngineConfig {
             switch_scheduler: SchedulerKind::Wfq(weights.clone()),
@@ -164,13 +170,23 @@ struct HostState {
 }
 
 /// The simulator engine, generic over the host agent type.
+///
+/// Events live in a [`Slab`] arena and only 4-byte handles move through the
+/// future-event list, so the calendar queue's bucket vectors stay small and
+/// steady-state scheduling performs no heap allocation.
 pub struct Engine<A: HostAgent> {
-    queue: EventQueue<Event>,
-    topo: Topology,
+    queue: EventQueue<SlotId>,
+    events: Slab<Event>,
+    topo: Arc<Topology>,
     config: EngineConfig,
     switches: Vec<SwitchState>,
     hosts: Vec<HostState>,
     agents: Vec<A>,
+    /// `agent_rank[host]` indexes into `agents`; [`NO_AGENT`] marks hosts
+    /// owned by a different shard domain.
+    agent_rank: Vec<u32>,
+    /// Present when this engine simulates one domain of a sharded fabric.
+    shard: Option<ShardRole>,
     scratch_actions: HostActions,
     started: bool,
     events_processed: u64,
@@ -181,12 +197,62 @@ pub struct Engine<A: HostAgent> {
 
 impl<A: HostAgent> Engine<A> {
     /// Build an engine over `topo` with one agent per host.
-    pub fn new(topo: Topology, agents: Vec<A>, config: EngineConfig) -> Self {
+    pub fn new(topo: impl Into<Arc<Topology>>, agents: Vec<A>, config: EngineConfig) -> Self {
+        let topo = topo.into();
         assert_eq!(
             agents.len(),
             topo.num_hosts(),
             "need one agent per host"
         );
+        let agent_rank = (0..topo.num_hosts() as u32).collect();
+        Self::build(topo, agents, agent_rank, config, None)
+    }
+
+    /// Build one domain of a sharded fabric: `agents` holds only the hosts
+    /// this domain owns, in host-id order. Packets leaving the domain are
+    /// parked in an outbox instead of scheduled; `crate::shard::ShardedEngine`
+    /// exchanges them at lookahead horizons.
+    pub(crate) fn new_sharded(
+        topo: Arc<Topology>,
+        agents: Vec<A>,
+        config: EngineConfig,
+        spec: Arc<ShardSpec>,
+        domain: usize,
+    ) -> Self {
+        let mut rank = 0u32;
+        let agent_rank: Vec<u32> = (0..topo.num_hosts())
+            .map(|h| {
+                if spec.domain_of_host[h] == domain {
+                    let r = rank;
+                    rank += 1;
+                    r
+                } else {
+                    NO_AGENT
+                }
+            })
+            .collect();
+        assert_eq!(
+            agents.len(),
+            rank as usize,
+            "need one agent per owned host"
+        );
+        let role = ShardRole {
+            spec,
+            domain,
+            // alloc: one outbox per domain at engine construction; drained
+            // by swap with a recycled scratch buffer, never reallocated.
+            outbox: Vec::new(),
+        };
+        Self::build(topo, agents, agent_rank, config, Some(role))
+    }
+
+    fn build(
+        topo: Arc<Topology>,
+        agents: Vec<A>,
+        agent_rank: Vec<u32>,
+        config: EngineConfig,
+        shard: Option<ShardRole>,
+    ) -> Self {
         let switches = topo
             .switch_ports
             .iter()
@@ -214,14 +280,26 @@ impl<A: HostAgent> Engine<A> {
                 ),
             })
             .collect();
-        let loss_rng = SimRng::new(config.loss_seed ^ 0x10_55);
+        // Per-domain loss streams: each domain consumes its own sequence, so
+        // verdicts depend only on the (fixed) domain partition, never on the
+        // worker-thread count. Domain 0 of a sharded run and an unsharded
+        // run share a stream on purpose — a single-domain shard is the same
+        // simulation.
+        let domain_salt = shard
+            .as_ref()
+            .map(|r| (r.domain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .unwrap_or(0);
+        let loss_rng = SimRng::new(config.loss_seed ^ 0x10_55 ^ domain_salt);
         Engine {
             queue: EventQueue::with_kind(config.event_queue),
+            events: Slab::with_capacity(1024),
             topo,
             config,
             switches,
             hosts,
             agents,
+            agent_rank,
+            shard,
             scratch_actions: HostActions::default(),
             started: false,
             events_processed: 0,
@@ -229,6 +307,13 @@ impl<A: HostAgent> Engine<A> {
             injected_losses: 0,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Park `ev` in the event arena and schedule its handle.
+    #[inline]
+    fn schedule_ev(&mut self, at: SimTime, ev: Event) {
+        let id = self.events.insert(ev);
+        self.queue.schedule(at, id);
     }
 
     /// Attach a telemetry handle; packet lifecycle events (enqueue, dequeue,
@@ -264,6 +349,23 @@ impl<A: HostAgent> Engine<A> {
         &mut self.agents
     }
 
+    /// The agent driving `host`, or `None` when a sharded engine does not
+    /// own it. Unsharded engines own every host.
+    pub fn agent_for_host(&self, host: HostId) -> Option<&A> {
+        match self.agent_rank[host.0] {
+            NO_AGENT => None,
+            r => Some(&self.agents[r as usize]),
+        }
+    }
+
+    /// Mutable variant of [`Engine::agent_for_host`].
+    pub fn agent_for_host_mut(&mut self, host: HostId) -> Option<&mut A> {
+        match self.agent_rank[host.0] {
+            NO_AGENT => None,
+            r => Some(&mut self.agents[r as usize]),
+        }
+    }
+
     /// Stats of a switch egress port.
     pub fn switch_port_stats(&self, sw: SwitchId, port: usize) -> &PortStats {
         &self.switches[sw.0].ports[port].stats
@@ -291,6 +393,8 @@ impl<A: HostAgent> Engine<A> {
 
     fn call_agent<F: FnOnce(&mut A, &mut HostCtx)>(&mut self, host: HostId, f: F) {
         let now = self.queue.now();
+        let rank = self.agent_rank[host.0];
+        debug_assert_ne!(rank, NO_AGENT, "event for unowned host {}", host.0);
         let actions = &mut self.scratch_actions;
         {
             let mut ctx = HostCtx {
@@ -298,7 +402,7 @@ impl<A: HostAgent> Engine<A> {
                 host,
                 actions,
             };
-            f(&mut self.agents[host.0], &mut ctx);
+            f(&mut self.agents[rank as usize], &mut ctx);
         }
         // Apply buffered actions. The vectors are moved out, drained, and
         // moved back so their capacity is reused across events — the apply
@@ -311,7 +415,7 @@ impl<A: HostAgent> Engine<A> {
         }
         for (at, token) in timers.drain(..) {
             let at = at.max(now);
-            self.queue.schedule(at, Event::Timer { host, token });
+            self.schedule_ev(at, Event::Timer { host, token });
         }
         self.scratch_actions.send = send;
         self.scratch_actions.timers = timers;
@@ -388,7 +492,7 @@ impl<A: HostAgent> Engine<A> {
                 if !port_state.fault_wake_armed {
                     port_state.fault_wake_armed = true;
                     let up = plan.link_up_at(flink, now);
-                    self.queue.schedule(up, Event::LinkUp { node, port });
+                    self.schedule_ev(up, Event::LinkUp { node, port });
                     if self.telemetry.is_enabled() {
                         let (kind, node_id) = node_tag(node);
                         self.telemetry.emit(
@@ -412,7 +516,7 @@ impl<A: HostAgent> Engine<A> {
                 .is_enabled()
                 .then(|| (pkt.class(), pkt.size_bytes, port_state.backlog_bytes()));
             port_state.in_flight = Some(pkt);
-            self.queue.schedule(now + ser, Event::TxDone { node, port });
+            self.schedule_ev(now + ser, Event::TxDone { node, port });
             if let Some((class, bytes, backlog_bytes)) = tel_info {
                 let (kind, node_id) = node_tag(node);
                 self.telemetry.emit(
@@ -595,8 +699,18 @@ impl<A: HostAgent> Engine<A> {
                         }
                     }
                 }
-                self.queue
-                    .schedule(now + prop + extra, Event::Arrive { node: peer, pkt });
+                let at = now + prop + extra;
+                // Sharded runs: a packet bound for another domain is parked
+                // in the outbox; the shard runner injects it at the next
+                // horizon. Its arrival time is at least one lookahead away
+                // (lookahead = min cross-domain propagation), which is what
+                // makes the conservative window protocol exact.
+                match &mut self.shard {
+                    Some(role) if !role.owns(peer) => {
+                        role.outbox.push(Boundary { at, node: peer, pkt });
+                    }
+                    _ => self.schedule_ev(at, Event::Arrive { node: peer, pkt }),
+                }
                 self.kick_one(node, port);
             }
             Event::LinkUp { node, port } => {
@@ -624,17 +738,53 @@ impl<A: HostAgent> Engine<A> {
         }
     }
 
-    /// Run until simulated time reaches `end` (or the event queue drains).
-    pub fn run_until(&mut self, end: SimTime) {
-        if !self.started {
-            self.started = true;
-            for h in 0..self.topo.num_hosts() {
+    /// Run the `on_start` callbacks (once); no-op afterwards. Called
+    /// implicitly by [`Engine::run_until`]; the shard runner calls it
+    /// eagerly so every domain's initial events exist before the first
+    /// horizon is computed.
+    pub(crate) fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for h in 0..self.topo.num_hosts() {
+            if self.agent_rank[h] != NO_AGENT {
                 self.call_agent(HostId(h), |agent, ctx| agent.on_start(ctx));
             }
         }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Swap out the accumulated boundary packets (sharded mode only);
+    /// `spare` should be an empty vector whose capacity is recycled.
+    pub(crate) fn take_outbox(&mut self, spare: &mut Vec<Boundary>) {
+        debug_assert!(spare.is_empty());
+        if let Some(role) = &mut self.shard {
+            std::mem::swap(&mut role.outbox, spare);
+        }
+    }
+
+    /// Accept a boundary packet from another domain. `at` must not precede
+    /// this domain's clock — guaranteed by the lookahead window protocol.
+    pub(crate) fn inject_arrival(&mut self, b: Boundary) {
+        debug_assert!(
+            self.shard.as_ref().is_some_and(|r| r.owns(b.node)),
+            "boundary packet injected into the wrong domain"
+        );
+        self.schedule_ev(b.at, Event::Arrive { node: b.node, pkt: b.pkt });
+    }
+
+    /// Run until simulated time reaches `end` (or the event queue drains).
+    pub fn run_until(&mut self, end: SimTime) {
+        self.ensure_started();
         // Single bounded probe per event instead of a peek + pop pair.
         while let Some(ev) = self.queue.pop_if_at_or_before(end) {
-            self.dispatch(ev.event);
+            let ev = self.events.remove(ev.event);
+            self.dispatch(ev);
         }
     }
 

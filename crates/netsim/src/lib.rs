@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod packet;
 pub mod port;
+pub mod shard;
 pub mod topology;
 
 pub use engine::{Engine, EngineConfig, HostActions, HostAgent, HostCtx};
@@ -62,4 +63,5 @@ pub use aequitas_faults as faults;
 pub use aequitas_sim_core::QueueKind;
 pub use packet::{FlowKey, Packet, PacketKind};
 pub use port::{PortStats, SchedulerKind};
+pub use shard::{ShardSpec, ShardedEngine};
 pub use topology::{HostId, LinkSpec, NodeRef, SwitchId, Topology};

@@ -52,10 +52,11 @@ pub struct PortStats {
 impl PortStats {
     fn new(classes: usize) -> Self {
         PortStats {
+            // alloc: one stats block per port at topology build.
             tx_packets: vec![0; classes],
-            tx_bytes: vec![0; classes],
-            drops: vec![0; classes],
-            max_class_depth_pkts: vec![0; classes],
+            tx_bytes: vec![0; classes], // alloc: port setup
+            drops: vec![0; classes],    // alloc: port setup
+            max_class_depth_pkts: vec![0; classes], // alloc: port setup
             max_backlog_bytes: 0,
             fault_drops: 0,
             fault_corrupts: 0,

@@ -188,6 +188,156 @@ impl Topology {
             routes,
         }
     }
+
+    /// A three-tier Clos fabric: `pods` pods, each with `leaves_per_pod`
+    /// leaf (ToR) switches and `spines_per_pod` aggregation spines, joined
+    /// by `cores` core switches. Every leaf connects to every spine in its
+    /// pod; every spine connects to every core.
+    ///
+    /// Links: `edge` for host↔leaf, `aggr` for leaf↔spine, `core` for
+    /// spine↔core. Giving the core tier a longer propagation delay is
+    /// realistic (pods are rows apart) and widens the conservative
+    /// lookahead of the sharded engine (see `shard.rs`), which synchronizes
+    /// domains at horizons equal to the minimum cross-domain propagation.
+    ///
+    /// Ids (the sharding helpers in `shard.rs` rely on this layout):
+    /// * host `(p*leaves_per_pod + l)*hosts_per_leaf + h` sits under leaf
+    ///   `l` of pod `p`;
+    /// * leaves are switches `0..pods*leaves_per_pod` (pod-major);
+    /// * spines follow at `pods*leaves_per_pod + p*spines_per_pod + s`;
+    /// * cores are the last `cores` switch ids.
+    ///
+    /// Routing is destination-based with ECMP at each fan-out: a leaf
+    /// spreads non-local traffic over its pod's spines, a spine spreads
+    /// cross-pod traffic over the cores, a core spreads traffic over the
+    /// destination pod's spines.
+    #[allow(clippy::too_many_arguments)]
+    pub fn clos(
+        pods: usize,
+        spines_per_pod: usize,
+        leaves_per_pod: usize,
+        hosts_per_leaf: usize,
+        cores: usize,
+        edge: LinkSpec,
+        aggr: LinkSpec,
+        core: LinkSpec,
+    ) -> Topology {
+        assert!(
+            pods >= 1 && spines_per_pod >= 1 && leaves_per_pod >= 1 && hosts_per_leaf >= 1,
+            "degenerate Clos shape"
+        );
+        assert!(
+            pods == 1 || cores >= 1,
+            "a multi-pod Clos needs at least one core switch"
+        );
+        let num_leaves = pods * leaves_per_pod;
+        let num_spines = pods * spines_per_pod;
+        let n = num_leaves * hosts_per_leaf;
+        let leaf_id = |p: usize, l: usize| p * leaves_per_pod + l;
+        let spine_id = |p: usize, s: usize| num_leaves + p * spines_per_pod + s;
+        let core_id = |c: usize| num_leaves + num_spines + c;
+        let host_pod = |dst: usize| dst / (leaves_per_pod * hosts_per_leaf);
+
+        let host_ports: Vec<PortSpec> = (0..n)
+            .map(|h| PortSpec {
+                peer: NodeRef::Switch(SwitchId(h / hosts_per_leaf)),
+                link: edge,
+            })
+            .collect();
+
+        let mut switch_ports = Vec::with_capacity(num_leaves + num_spines + cores);
+        let mut routes = Vec::with_capacity(num_leaves + num_spines + cores);
+
+        // Leaf (p, l): ports 0..hosts_per_leaf to local hosts, then one
+        // uplink per pod spine.
+        for p in 0..pods {
+            for l in 0..leaves_per_pod {
+                let base_host = leaf_id(p, l) * hosts_per_leaf;
+                let mut ports = Vec::with_capacity(hosts_per_leaf + spines_per_pod);
+                for h in 0..hosts_per_leaf {
+                    ports.push(PortSpec {
+                        peer: NodeRef::Host(HostId(base_host + h)),
+                        link: edge,
+                    });
+                }
+                for s in 0..spines_per_pod {
+                    ports.push(PortSpec {
+                        peer: NodeRef::Switch(SwitchId(spine_id(p, s))),
+                        link: aggr,
+                    });
+                }
+                let leaf_routes: Vec<Vec<usize>> = (0..n)
+                    .map(|dst| {
+                        if dst / hosts_per_leaf == leaf_id(p, l) {
+                            vec![dst % hosts_per_leaf]
+                        } else {
+                            (0..spines_per_pod).map(|s| hosts_per_leaf + s).collect()
+                        }
+                    })
+                    .collect();
+                switch_ports.push(ports);
+                routes.push(leaf_routes);
+            }
+        }
+
+        // Spine (p, s): ports 0..leaves_per_pod down to pod leaves, then one
+        // uplink per core.
+        for p in 0..pods {
+            for _s in 0..spines_per_pod {
+                let mut ports = Vec::with_capacity(leaves_per_pod + cores);
+                for l in 0..leaves_per_pod {
+                    ports.push(PortSpec {
+                        peer: NodeRef::Switch(SwitchId(leaf_id(p, l))),
+                        link: aggr,
+                    });
+                }
+                for c in 0..cores {
+                    ports.push(PortSpec {
+                        peer: NodeRef::Switch(SwitchId(core_id(c))),
+                        link: core,
+                    });
+                }
+                let spine_routes: Vec<Vec<usize>> = (0..n)
+                    .map(|dst| {
+                        if host_pod(dst) == p {
+                            vec![(dst / hosts_per_leaf) % leaves_per_pod]
+                        } else {
+                            (0..cores).map(|c| leaves_per_pod + c).collect()
+                        }
+                    })
+                    .collect();
+                switch_ports.push(ports);
+                routes.push(spine_routes);
+            }
+        }
+
+        // Core c: one port per (pod, spine), pod-major.
+        for _c in 0..cores {
+            let mut ports = Vec::with_capacity(num_spines);
+            for p in 0..pods {
+                for s in 0..spines_per_pod {
+                    ports.push(PortSpec {
+                        peer: NodeRef::Switch(SwitchId(spine_id(p, s))),
+                        link: core,
+                    });
+                }
+            }
+            let core_routes: Vec<Vec<usize>> = (0..n)
+                .map(|dst| {
+                    let p = host_pod(dst);
+                    (0..spines_per_pod).map(|s| p * spines_per_pod + s).collect()
+                })
+                .collect();
+            switch_ports.push(ports);
+            routes.push(core_routes);
+        }
+
+        Topology {
+            host_ports,
+            switch_ports,
+            routes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +398,98 @@ mod tests {
             used.insert(t.route(SwitchId(0), HostId(3), h));
         }
         assert_eq!(used.len(), 4, "all four spines should attract some flows");
+    }
+
+    #[test]
+    fn clos_shape() {
+        // 2 pods × (2 spines, 3 leaves × 4 hosts), 2 cores.
+        let t = Topology::clos(2, 2, 3, 4, 2, link(), link(), link());
+        assert_eq!(t.num_hosts(), 24);
+        assert_eq!(t.num_switches(), 6 + 4 + 2); // leaves + spines + cores
+        // Leaf: 4 host ports + 2 spine uplinks.
+        assert_eq!(t.switch_ports[0].len(), 6);
+        // Spine (first spine id = 6): 3 leaf ports + 2 core uplinks.
+        assert_eq!(t.switch_ports[6].len(), 5);
+        // Core (id 10): one port per spine.
+        assert_eq!(t.switch_ports[10].len(), 4);
+        // Host 13 = leaf 3 (pod 1, leaf 0).
+        assert_eq!(t.host_ports[13].peer, NodeRef::Switch(SwitchId(3)));
+        // Leaf 3's spine uplinks go to pod 1's spines (ids 8, 9).
+        assert_eq!(t.switch_ports[3][4].peer, NodeRef::Switch(SwitchId(8)));
+        assert_eq!(t.switch_ports[3][5].peer, NodeRef::Switch(SwitchId(9)));
+    }
+
+    #[test]
+    fn clos_every_pair_is_connected() {
+        // Walk the route tables from every source leaf to every destination
+        // host, following the deterministic per-hash pick; each path must
+        // terminate at the destination within a hop budget.
+        let t = Topology::clos(2, 2, 2, 2, 3, link(), link(), link());
+        let n = t.num_hosts();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                for hash in [0u64, 1, 7, 13] {
+                    let mut node = t.host_ports[src].peer;
+                    let mut hops = 0;
+                    loop {
+                        let sw = match node {
+                            NodeRef::Switch(sw) => sw,
+                            NodeRef::Host(h) => {
+                                assert_eq!(h, HostId(dst), "{src}->{dst} misrouted");
+                                break;
+                            }
+                        };
+                        hops += 1;
+                        assert!(hops <= 6, "{src}->{dst} loops (hash {hash})");
+                        let port = t.route(sw, HostId(dst), hash);
+                        node = t.switch_ports[sw.0][port].peer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clos_intra_pod_traffic_stays_in_pod() {
+        let t = Topology::clos(2, 2, 2, 2, 2, link(), link(), link());
+        // Leaf 0 (pod 0) to host 2 (pod 0, leaf 1): must go via a pod-0
+        // spine (ids 4, 5), never a core.
+        for hash in 0..16u64 {
+            let port = t.route(SwitchId(0), HostId(2), hash);
+            let peer = t.switch_ports[0][port].peer;
+            assert!(
+                peer == NodeRef::Switch(SwitchId(4)) || peer == NodeRef::Switch(SwitchId(5)),
+                "intra-pod route left the pod: {peer:?}"
+            );
+            // And the spine forwards straight down to leaf 1.
+            let sw = match peer {
+                NodeRef::Switch(s) => s,
+                _ => unreachable!(),
+            };
+            let down = t.route(sw, HostId(2), hash);
+            assert_eq!(t.switch_ports[sw.0][down].peer, NodeRef::Switch(SwitchId(1)));
+        }
+    }
+
+    #[test]
+    fn clos_cross_pod_spreads_over_cores() {
+        let t = Topology::clos(2, 2, 2, 2, 4, link(), link(), link());
+        // Spine 4 (pod 0) to host 4 (pod 1): ECMP over all 4 cores.
+        let mut used = std::collections::HashSet::new();
+        for hash in 0..64u64 {
+            let port = t.route(SwitchId(4), HostId(4), hash);
+            let peer = t.switch_ports[4][port].peer;
+            match peer {
+                NodeRef::Switch(s) => {
+                    assert!(s.0 >= 8, "cross-pod route must climb to a core");
+                    used.insert(s.0);
+                }
+                _ => panic!("cross-pod route hit a host"),
+            }
+        }
+        assert_eq!(used.len(), 4, "all cores should attract flows");
     }
 }

@@ -45,11 +45,12 @@ impl<T> DwrrScheduler<T> {
         DwrrScheduler {
             weights: weights.to_vec(),
             quantum,
+            // alloc: scheduler construction, once per port.
             queues: weights.iter().map(|_| VecDeque::new()).collect(),
-            class_bytes: vec![0; weights.len()],
-            deficit: vec![0.0; weights.len()],
+            class_bytes: vec![0; weights.len()], // alloc: port setup
+            deficit: vec![0.0; weights.len()],   // alloc: port setup
             active: VecDeque::new(),
-            in_active: vec![false; weights.len()],
+            in_active: vec![false; weights.len()], // alloc: port setup
             buffer: BufferAccounting::new(capacity_bytes),
         }
     }

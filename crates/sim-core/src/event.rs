@@ -109,6 +109,8 @@ struct Calendar<E> {
 impl<E> Calendar<E> {
     fn new() -> Self {
         Calendar {
+            // alloc: ring construction, once per queue; buckets keep
+            // their capacity across laps.
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
             base: 0,
@@ -175,13 +177,24 @@ impl<E> Calendar<E> {
             debug_assert!(self.ring_len > 0);
             return;
         }
-        // Bitmap scan from the current slot, in ring order. ring_len > 0
-        // guarantees a set bit within NUM_BUCKETS positions.
+        let slot = self.first_occupied_slot();
+        let start = (self.base as usize) & (NUM_BUCKETS - 1);
+        let dist = (slot + NUM_BUCKETS - start) % NUM_BUCKETS;
+        if dist > 0 {
+            self.base += dist as u64;
+            self.migrate();
+        }
+    }
+
+    /// Bitmap scan from the current slot, in ring order, for the first
+    /// non-empty bucket. Requires `ring_len > 0` (guarantees a set bit
+    /// within `NUM_BUCKETS` positions). Read-only: does not move `base`.
+    fn first_occupied_slot(&self) -> usize {
         let start = (self.base as usize) & (NUM_BUCKETS - 1);
         let mut word = start / 64;
         let mut bits = self.occupied[word] & (!0u64 << (start % 64));
         let mut scanned = 0usize;
-        let slot = loop {
+        loop {
             if bits != 0 {
                 break word * 64 + bits.trailing_zeros() as usize;
             }
@@ -189,11 +202,6 @@ impl<E> Calendar<E> {
             debug_assert!(scanned <= NUM_BUCKETS + 64, "occupied bitmap empty");
             word = (word + 1) % WORDS;
             bits = self.occupied[word];
-        };
-        let dist = (slot + NUM_BUCKETS - start) % NUM_BUCKETS;
-        if dist > 0 {
-            self.base += dist as u64;
-            self.migrate();
         }
     }
 
@@ -211,14 +219,21 @@ impl<E> Calendar<E> {
         best
     }
 
-    fn peek_time(&mut self) -> Option<SimTime> {
-        if self.len() == 0 {
-            return None;
+    /// Timestamp of the next event, without committing `base`. Keeping the
+    /// peek read-only matters for the sharded engine: it peeks every domain
+    /// to pick a window, then *injects* boundary arrivals that may be
+    /// earlier than this domain's next native event — advancing `base` on
+    /// peek would put those injections below the ring cursor.
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|e| e.time);
         }
-        self.advance();
-        let slot = (self.base as usize) & (NUM_BUCKETS - 1);
-        let i = self.min_index_in_current();
-        Some(self.buckets[slot][i].0)
+        // The first occupied slot at or after `base` holds the lowest
+        // absolute bucket in the ring window; ring events always precede
+        // overflow events (bucket >= base + NUM_BUCKETS).
+        let bucket = &self.buckets[self.first_occupied_slot()];
+        debug_assert!(!bucket.is_empty());
+        Some(bucket.iter().map(|e| e.0).min().expect("non-empty bucket"))
     }
 
     fn pop(&mut self) -> Option<(SimTime, u64, E)> {
@@ -367,8 +382,6 @@ impl<E> EventQueue<E> {
                 if cal.peek_time().map(|t| t > end).unwrap_or(true) {
                     return None;
                 }
-                // `advance` already positioned the cursor; pop re-finds the
-                // min within the (cache-hot) current bucket.
                 cal.pop().expect("peek_time above proved non-empty")
             }
         };
@@ -377,9 +390,12 @@ impl<E> EventQueue<E> {
         Some(ScheduledEvent { time, seq, event })
     }
 
-    /// Timestamp of the next event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        match &mut self.backend {
+    /// Timestamp of the next event without popping it. Read-only: peeking
+    /// never restricts what may still be scheduled (the sharded engine
+    /// peeks all domains, then injects cross-domain arrivals that can be
+    /// earlier than the peeked native event).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match &self.backend {
             Backend::Heap(heap) => heap.peek().map(|e| e.time),
             Backend::Calendar(cal) => cal.peek_time(),
         }
@@ -476,6 +492,23 @@ mod tests {
             let e = q.pop_if_at_or_before(SimTime::from_us(3)).unwrap();
             assert_eq!(e.event, 3);
             assert!(q.pop_if_at_or_before(SimTime::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_restrict_later_schedules() {
+        // Regression for the sharded engine's window protocol: peek a
+        // domain whose next native event is far away, then inject a nearer
+        // boundary arrival. The peek must not have committed the calendar
+        // cursor past the injection's bucket.
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_ms(10), "far");
+            assert_eq!(q.peek_time(), Some(SimTime::from_ms(10)));
+            q.schedule(SimTime::from_us(3), "near");
+            assert_eq!(q.peek_time(), Some(SimTime::from_us(3)));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            assert_eq!(order, vec!["near", "far"]);
         }
     }
 

@@ -16,10 +16,12 @@
 //! Everything is deterministic: running the same experiment with the same
 //! seed produces bit-identical results.
 
+pub mod arena;
 pub mod event;
 pub mod rng;
 pub mod time;
 
+pub use arena::{Slab, SlotId, VecPool};
 pub use event::{EventQueue, QueueKind, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{BitRate, SimDuration, SimTime};

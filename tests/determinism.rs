@@ -6,7 +6,7 @@
 //! Fig. 11 sweep — a real multi-point experiment through the full stack —
 //! under each knob and requires bit-identical results.
 
-use aequitas_experiments::slo::{fig11_configured, Fig11Result};
+use aequitas_experiments::slo::{fig11_configured, fig11_invariance_probe, Fig11Result};
 use aequitas_experiments::Scale;
 use aequitas_netsim::QueueKind;
 use aequitas_telemetry::{FlightRecorder, Telemetry, TelemetryConfig};
@@ -24,7 +24,30 @@ fn fingerprint(r: &Fig11Result) -> Vec<(u64, u64, u64)> {
         .collect()
 }
 
+/// The CI-speed variant: a truncated two-point Fig. 11 sweep (5% duration)
+/// through the same full stack. Far from equilibrium, but determinism does
+/// not care — any knob-dependence shows up here just as it would at full
+/// length.
 #[test]
+fn fig11_smoke_is_invariant_under_threads_and_queue_backend() {
+    let baseline = fingerprint(&fig11_invariance_probe(1, QueueKind::Calendar));
+    let threaded = fingerprint(&fig11_invariance_probe(4, QueueKind::Calendar));
+    assert_eq!(
+        baseline, threaded,
+        "sweep results must not depend on the worker count"
+    );
+    let heap = fingerprint(&fig11_invariance_probe(4, QueueKind::Heap));
+    assert_eq!(
+        baseline, heap,
+        "calendar and heap event queues must order events identically"
+    );
+}
+
+/// The full-length sweep (minutes of wall clock): superseded in CI by
+/// [`fig11_smoke_is_invariant_under_threads_and_queue_backend`]; run
+/// explicitly with `cargo test -- --ignored` before releases.
+#[test]
+#[ignore = "full-length fig11 sweep; the smoke variant covers CI"]
 fn fig11_is_invariant_under_threads_and_queue_backend() {
     let scale = Scale::quick();
     let baseline = fingerprint(&fig11_configured(scale, 1, QueueKind::Calendar));
