@@ -8,7 +8,6 @@
 
 use aequitas_sim_core::{SimDuration, SimRng, SimTime};
 use aequitas_telemetry::{Telemetry, TraceEvent};
-use std::collections::HashMap;
 
 /// An RNL SLO for one QoS level.
 #[derive(Debug, Clone, Copy)]
@@ -145,8 +144,12 @@ struct ChannelQosState {
 pub struct AdmissionController {
     config: AequitasConfig,
     rng: SimRng,
-    /// `(dst, qos)` → state, for SLO-carrying QoS levels.
-    state: HashMap<(usize, u8), ChannelQosState>,
+    /// Dense channel-state table indexed `dst * levels + qos`, grown on
+    /// first contact with a destination. Every RPC probes this twice
+    /// (issue and completion), so the lookup is a bounds-checked index
+    /// instead of a `(usize, u8)` hash; untouched channels stay `None`
+    /// and read as `p_admit = 1.0`.
+    state: Vec<Option<ChannelQosState>>,
     /// Counters for observability.
     issued: u64,
     downgraded: u64,
@@ -163,7 +166,7 @@ impl AdmissionController {
         AdmissionController {
             config,
             rng: SimRng::new(seed),
-            state: HashMap::new(), // det: entry()/get() keyed access only, never iterated
+            state: Vec::new(),
             issued: 0,
             downgraded: 0,
             telemetry: Telemetry::disabled(),
@@ -290,10 +293,12 @@ impl AdmissionController {
 
     /// Current admit probability for `(dst, qos)` (1.0 if never touched).
     pub fn admit_probability(&self, dst: usize, qos: u8) -> f64 {
-        self.state
-            .get(&(dst, qos))
-            .map(|s| s.p_admit)
-            .unwrap_or(1.0)
+        if (qos as usize) < self.config.levels() {
+            if let Some(Some(st)) = self.state.get(self.slot(dst, qos)) {
+                return st.p_admit;
+            }
+        }
+        1.0
     }
 
     /// Total RPCs seen by `on_issue`.
@@ -314,8 +319,19 @@ impl AdmissionController {
         self.channel_state(now, dst, qos).p_admit = p;
     }
 
+    /// Index of `(dst, qos)` in the dense state table.
+    #[inline]
+    fn slot(&self, dst: usize, qos: u8) -> usize {
+        dst * self.config.levels() + qos as usize
+    }
+
     fn channel_state(&mut self, now: SimTime, dst: usize, qos: u8) -> &mut ChannelQosState {
-        self.state.entry((dst, qos)).or_insert(ChannelQosState {
+        debug_assert!((qos as usize) < self.config.levels());
+        let idx = self.slot(dst, qos);
+        if idx >= self.state.len() {
+            self.state.resize(idx + 1, None);
+        }
+        self.state[idx].get_or_insert(ChannelQosState {
             p_admit: 1.0,
             // Initialize the window anchor so the first increase respects
             // the window from first contact.

@@ -26,7 +26,7 @@
 //! track demand shifts, not the data path.
 
 use aequitas_sim_core::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Identifies a tenant (application) across hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,8 +69,15 @@ pub struct Grant {
 pub struct QuotaServer {
     /// Admissible admitted-rate per QoS level, bytes/sec.
     capacity_bps: Vec<f64>,
-    tenants: HashMap<TenantId, QuotaSpec>,
-    last_usage: HashMap<TenantId, u64>,
+    /// Dense per-tenant registry indexed directly by `TenantId.0`; `None`
+    /// marks an unregistered id. Tenant ids are small dense integers in
+    /// every harness, so direct indexing replaces hashing on the per-round
+    /// allocation path, and iterating in index order is already the sorted
+    /// order the float accumulations below need (det: no map iteration
+    /// order can leak into results).
+    specs: Vec<Option<QuotaSpec>>,
+    /// Cumulative offered bytes per tenant, indexed like `specs`.
+    last_usage: Vec<u64>,
 }
 
 impl QuotaServer {
@@ -80,29 +87,43 @@ impl QuotaServer {
         assert!(capacity_bps.iter().all(|&c| c >= 0.0));
         QuotaServer {
             capacity_bps,
-            // det: allocate() sorts tenants by id before any float
-            // accumulation; no other path iterates this map.
-            tenants: HashMap::new(),
-            last_usage: HashMap::new(), // det: keyed access only, never iterated
+            specs: Vec::new(),
+            last_usage: Vec::new(),
         }
+    }
+
+    fn grow_to(&mut self, tenant: TenantId) -> usize {
+        let i = tenant.0 as usize;
+        if i >= self.specs.len() {
+            self.specs.resize(i + 1, None);
+            self.last_usage.resize(i + 1, 0);
+        }
+        i
     }
 
     /// Register (or update) a tenant's guarantee.
     pub fn register(&mut self, tenant: TenantId, spec: QuotaSpec) {
         assert!((spec.qos as usize) < self.capacity_bps.len());
         assert!(spec.guaranteed_bps >= 0.0);
-        self.tenants.insert(tenant, spec);
+        let i = self.grow_to(tenant);
+        self.specs[i] = Some(spec);
     }
 
     /// Remove a tenant.
     pub fn deregister(&mut self, tenant: TenantId) {
-        self.tenants.remove(&tenant);
-        self.last_usage.remove(&tenant);
+        let i = tenant.0 as usize;
+        if i < self.specs.len() {
+            self.specs[i] = None;
+            self.last_usage[i] = 0;
+        }
     }
 
-    /// Registered tenants (unordered — sort before any order-sensitive use).
-    pub fn tenants(&self) -> impl Iterator<Item = (&TenantId, &QuotaSpec)> {
-        self.tenants.iter()
+    /// Registered tenants, in ascending id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &QuotaSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (TenantId(i as u32), s)))
     }
 
     /// One allocation round: ingest usage reports and return per-tenant
@@ -122,42 +143,46 @@ impl QuotaServer {
         period: SimDuration,
     ) -> HashMap<TenantId, Grant> {
         let period_secs = period.as_secs_f64().max(1e-9);
-        // Aggregate demand per tenant (bytes/sec over the report period).
-        // det: keyed access only below — every iteration that sums floats
-        // runs over the *sorted* `members` list, never over this map.
-        let mut demand: HashMap<TenantId, f64> = HashMap::new();
+        // Aggregate demand per tenant (bytes/sec over the report period)
+        // into a dense table indexed by tenant id — no hashing, and reading
+        // it back during water-filling is an array load.
+        let mut demand: Vec<f64> = vec![0.0; self.specs.len()];
         for r in reports {
-            *demand.entry(r.tenant).or_insert(0.0) += r.offered_bytes as f64 / period_secs;
-            *self.last_usage.entry(r.tenant).or_insert(0) += r.offered_bytes;
+            let i = r.tenant.0 as usize;
+            if i >= demand.len() {
+                demand.resize(i + 1, 0.0);
+            }
+            self.grow_to(r.tenant);
+            demand[i] += r.offered_bytes as f64 / period_secs;
+            self.last_usage[i] += r.offered_bytes;
         }
 
         // det: the returned map is documented as keyed-lookup only; the
-        // values are computed from the sorted member list, so the map's own
-        // order never reaches any result.
+        // values are computed from the ascending-id member list, so the
+        // map's own order never reaches any result.
         let mut grants: HashMap<TenantId, Grant> = HashMap::new();
         for qos in 0..self.capacity_bps.len() {
-            let mut members: Vec<(TenantId, QuotaSpec)> = self
-                .tenants
+            // Dense iteration is already ascending-id, so every f64
+            // accumulation below is order-stable across runs and processes.
+            let members: Vec<(u32, QuotaSpec)> = self
+                .specs
                 .iter()
-                .filter(|(_, s)| s.qos as usize == qos)
-                .map(|(t, s)| (*t, *s))
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.filter(|s| s.qos as usize == qos).map(|s| (i as u32, s))
+                })
                 .collect();
-            // HashMap iteration order is per-process random, and f64 sums
-            // below are order-dependent: sort so every run (and every
-            // process) accumulates identically.
-            members.sort_by_key(|(t, _)| *t);
             if members.is_empty() {
                 continue;
             }
-            let capacity = self.capacity_bps[qos] * 8.0 / 8.0; // bytes/sec
-            // Step 1: base = min(guarantee, demand). BTreeMap: iterated and
-            // summed below, so it must have a deterministic order.
-            let mut base: BTreeMap<TenantId, f64> = BTreeMap::new();
+            let capacity = self.capacity_bps[qos]; // bytes/sec
+            // Step 1: base = min(guarantee, demand), positionally aligned
+            // with `members`.
+            let mut base: Vec<f64> = Vec::with_capacity(members.len());
             let mut base_total = 0.0;
-            for (t, s) in &members {
-                let d = demand.get(t).copied().unwrap_or(0.0);
-                let b = s.guaranteed_bps.min(d);
-                base.insert(*t, b);
+            for (id, s) in &members {
+                let b = s.guaranteed_bps.min(demand[*id as usize]);
+                base.push(b);
                 base_total += b;
             }
             // Step 2: pro-rata clip if oversubscribed.
@@ -166,30 +191,32 @@ impl QuotaServer {
             } else {
                 1.0
             };
-            for b in base.values_mut() {
+            for b in &mut base {
                 *b *= scale;
             }
             // Step 3: weighted distribution of leftover to tenants whose
-            // demand exceeds their base grant.
-            let mut leftover = (capacity - base.values().sum::<f64>()).max(0.0);
-            let mut hungry: Vec<(TenantId, f64)> = members
+            // demand exceeds their base grant. `hungry` carries positions
+            // into `members`/`base`.
+            let mut leftover = (capacity - base.iter().sum::<f64>()).max(0.0);
+            let mut hungry: Vec<(usize, f64)> = members
                 .iter()
-                .filter(|(t, _)| demand.get(t).copied().unwrap_or(0.0) > base[t] + 1e-9)
-                .map(|(t, s)| (*t, s.guaranteed_bps.max(1.0)))
+                .enumerate()
+                .filter(|(k, (id, _))| demand[*id as usize] > base[*k] + 1e-9)
+                .map(|(k, (_, s))| (k, s.guaranteed_bps.max(1.0)))
                 .collect();
             // Iterative water-filling: cap each hungry tenant at its demand.
             while leftover > 1e-6 && !hungry.is_empty() {
                 let weight_total: f64 = hungry.iter().map(|(_, w)| w).sum();
                 let mut next_hungry = Vec::new();
                 let mut distributed = 0.0;
-                for (t, w) in &hungry {
+                for &(k, w) in &hungry {
                     let offer = leftover * w / weight_total;
-                    let need = demand.get(t).copied().unwrap_or(0.0) - base[t];
+                    let need = demand[members[k].0 as usize] - base[k];
                     let take = offer.min(need.max(0.0));
-                    *base.get_mut(t).expect("hungry tenant has base") += take;
+                    base[k] += take;
                     distributed += take;
                     if take >= offer - 1e-9 {
-                        next_hungry.push((*t, *w));
+                        next_hungry.push((k, w));
                     }
                 }
                 leftover -= distributed;
@@ -198,8 +225,8 @@ impl QuotaServer {
                 }
                 hungry = next_hungry;
             }
-            for (t, b) in base {
-                grants.insert(t, Grant { rate_bps: b });
+            for (k, (id, _)) in members.iter().enumerate() {
+                grants.insert(TenantId(*id), Grant { rate_bps: base[k] });
             }
         }
         grants

@@ -47,25 +47,36 @@ where
     F: Fn(P) -> R + Sync,
 {
     let n = points.len();
-    if threads <= 1 || n <= 1 {
+    // Effective worker count: spawning more workers than points only adds
+    // scheduler churn. One effective worker runs inline — no threads, no
+    // per-point locking — which matters on single-core machines where the
+    // "parallel" path used to lose to the serial loops outright.
+    let threads = threads.min(n.max(1));
+    if threads <= 1 {
         return points.into_iter().map(f).collect();
     }
     // Work-stealing by atomic index: each worker claims the next unclaimed
-    // point, so long and short runs balance without static partitioning.
+    // chunk of points, so long and short runs balance without static
+    // partitioning. Chunks amortize the claim (one fetch_add + lock pair
+    // per chunk instead of per point) while staying small enough — at
+    // least 4 chunks per worker — that stealing still load-balances.
+    let chunk = (n / (threads * 4)).max(1);
     let slots: Vec<Mutex<Option<P>>> = points.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let p = slots[i].lock().unwrap().take().expect("point claimed once");
-                let r = f(p);
-                *results[i].lock().unwrap() = Some(r);
+                for i in start..(start + chunk).min(n) {
+                    let p = slots[i].lock().unwrap().take().expect("point claimed once");
+                    let r = f(p);
+                    *results[i].lock().unwrap() = Some(r);
+                }
             });
         }
     });

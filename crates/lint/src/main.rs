@@ -34,7 +34,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "aequitas-lint [--json] [--rules] [--root DIR] [--config FILE]\n\
-                     Domain static analysis for the Aequitas workspace (rules AQ001..AQ010)."
+                     Domain static analysis for the Aequitas workspace (rules AQ001..AQ012)."
                 );
                 return ExitCode::SUCCESS;
             }

@@ -99,6 +99,11 @@ pub const RULES: &[RuleInfo] = &[
         name: "hot-path-allocation",
         desc: "Box::new/vec!/Vec::new in per-event modules; recycle via sim-core arena (Slab/VecPool), preallocate with with_capacity, or justify with an `alloc:` comment",
     },
+    RuleInfo {
+        id: "AQ012",
+        name: "string-keyed-telemetry",
+        desc: "string-keyed metric calls, format!/String::new label building, or per-event to_json in hot-path modules; intern a MetricId / reuse a scratch buffer, or justify with a `metric:` comment",
+    },
 ];
 
 /// Hot-path crates for AQ006.
@@ -117,6 +122,22 @@ const HOT_ALLOC_MODULES: &[&str] = &[
     "crates/netsim/src/packet.rs",
     "crates/qdisc/src/",
     "crates/transport/src/",
+];
+
+/// Modules whose telemetry must run on interned handles for AQ012: the
+/// per-event emitters (engine dispatch, qdiscs, transport, the RPC stack,
+/// the admission controller) plus the telemetry funnel itself. Registration
+/// and export code living in these files escapes with a `metric:` comment
+/// or a `lint.toml` allowlist entry.
+const HOT_METRIC_MODULES: &[&str] = &[
+    "crates/netsim/src/engine.rs",
+    "crates/netsim/src/shard.rs",
+    "crates/netsim/src/port.rs",
+    "crates/qdisc/src/",
+    "crates/transport/src/",
+    "crates/rpc/src/stack.rs",
+    "crates/core/src/controller.rs",
+    "crates/telemetry/src/lib.rs",
 ];
 
 /// Everything a rule needs to know about one file.
@@ -343,6 +364,9 @@ pub fn check_file(cfg: &Config, rel: &str, toks: &[Tok], out: &mut Vec<Finding>)
     }
     if enabled("AQ011") {
         aq011_hot_alloc(&ctx, out);
+    }
+    if enabled("AQ012") {
+        aq012_string_keyed_telemetry(&ctx, out);
     }
 }
 
@@ -699,6 +723,83 @@ fn aq011_hot_alloc(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// AQ012: telemetry that allocates or hashes strings per event. The dense
+/// fast path interns a `MetricId` once at wiring time and updates through
+/// `counter_add_id`/`gauge_set_id`/`hist_record_id`; trace serialization
+/// reuses a scratch buffer via `write_json`. In the designated hot modules
+/// this rule flags the string-keyed shims (`counter_add`, `gauge_set`,
+/// `hist_record`), label construction with `format!` / `String::new`, and
+/// per-event `.to_json()` calls. One-time registration and dump/export code
+/// that happens to live in a hot module escapes with a `metric:` comment;
+/// whole setup/export files belong in the `lint.toml` allowlist.
+fn aq012_string_keyed_telemetry(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let hot = HOT_METRIC_MODULES
+        .iter()
+        .any(|m| ctx.rel == *m || (m.ends_with('/') && ctx.rel.starts_with(m)));
+    if !hot {
+        return;
+    }
+    const STRING_KEYED: &[&str] = &["counter_add", "gauge_set", "hist_record"];
+    let n = ctx.code.len();
+    let mut fire = |t: &Tok, what: &str, fix: &str| {
+        if ctx.in_test(t.line) || ctx.justified(t.line, "metric:") {
+            return;
+        }
+        finding(
+            out,
+            "AQ012",
+            ctx,
+            t,
+            format!("`{what}` on a telemetry hot path; {fix}, or justify with a `metric:` comment"),
+        );
+    };
+    for w in 0..n {
+        let t = ctx.c(w);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `.counter_add(...)` — the string-keyed interning shim. The
+        // `*_id` variants tokenize as distinct idents and never match.
+        if STRING_KEYED.contains(&t.text.as_str())
+            && w >= 1
+            && ctx.c(w - 1).text == "."
+            && w + 1 < n
+            && ctx.c(w + 1).text == "("
+        {
+            fire(
+                t,
+                &format!(".{}(name, labels, ..)", t.text),
+                "intern a MetricId at wiring time and use the `_id` variant",
+            );
+            continue;
+        }
+        // `format!(...)` — per-event label/string construction.
+        if t.text == "format" && w + 1 < n && ctx.c(w + 1).text == "!" {
+            fire(t, "format!", "build strings once at registration time");
+            continue;
+        }
+        // `String::new()` — an empty-label allocation per call.
+        if t.text == "String"
+            && w + 3 < n
+            && ctx.c(w + 1).text == ":"
+            && ctx.c(w + 2).text == ":"
+            && ctx.c(w + 3).text == "new"
+        {
+            fire(t, "String::new", "intern the label at wiring time");
+            continue;
+        }
+        // `.to_json(...)` — allocates a fresh String per event; sinks
+        // should serialize through `write_json` into a reused scratch.
+        if t.text == "to_json" && w >= 1 && ctx.c(w - 1).text == "." && w + 1 < n && ctx.c(w + 1).text == "(" {
+            fire(
+                t,
+                ".to_json()",
+                "serialize into a reused buffer via write_json",
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1014,54 @@ fn f() {
         assert!(run(
             "crates/netsim/src/engine.rs",
             "#[cfg(test)]\nmod t { fn f() { let v = vec![1]; } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn aq012_string_keyed_telemetry() {
+        // String-keyed metric shims fire in hot modules.
+        let f = run(
+            "crates/rpc/src/stack.rs",
+            "fn f() { m.counter_add(\"rpc.issued\", l, 1); m.gauge_set(\"g\", l, 1.0); }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ012", "AQ012"]);
+        // The interned `_id` variants are the sanctioned form.
+        assert!(run(
+            "crates/rpc/src/stack.rs",
+            "fn f() { m.counter_add_id(id, 1); m.gauge_set_id(id, 1.0); m.hist_record_id(id, 5); }"
+        )
+        .is_empty());
+        // Per-event label construction fires...
+        let f = run(
+            "crates/netsim/src/engine.rs",
+            "fn f() { let l = format!(\"sw={i}\"); let e = String::new(); }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ012", "AQ012"]);
+        // ...but a `metric:` justification escapes registration-time code.
+        assert!(run(
+            "crates/netsim/src/engine.rs",
+            "// metric: one-time registration at wiring, not per event\nfn f() { let l = format!(\"sw={i}\"); }"
+        )
+        .is_empty());
+        // Per-event to_json allocation fires; write_json into a scratch is
+        // the sanctioned form.
+        let f = run(
+            "crates/telemetry/src/lib.rs",
+            "fn f() { let s = event.to_json(seq, t); }",
+        );
+        assert_eq!(rules_of(&f), vec!["AQ012"]);
+        assert!(run(
+            "crates/telemetry/src/lib.rs",
+            "fn f() { event.write_json(&mut scratch, seq, t); }"
+        )
+        .is_empty());
+        // Cold modules and test code are out of scope.
+        let src = "fn f() { m.counter_add(\"x\", l, 1); }";
+        assert!(run("crates/experiments/src/fig12.rs", src).is_empty());
+        assert!(run(
+            "crates/rpc/src/stack.rs",
+            "#[cfg(test)]\nmod t { fn f() { m.counter_add(\"x\", l, 1); } }"
         )
         .is_empty());
     }

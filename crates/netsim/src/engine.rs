@@ -6,7 +6,7 @@ use crate::shard::{Boundary, ShardRole, ShardSpec};
 use crate::topology::{HostId, NodeRef, SwitchId, Topology};
 use aequitas_faults::{FaultPlan, LinkId as FaultLinkId, PacketFate};
 use aequitas_sim_core::{EventQueue, QueueKind, SimDuration, SimRng, SimTime, Slab, SlotId};
-use aequitas_telemetry::{labels, NodeKind, Telemetry, TraceEvent};
+use aequitas_telemetry::{labels, MetricId, NodeKind, Telemetry, TraceEvent};
 use std::sync::Arc;
 
 /// Sentinel rank for hosts not owned by this engine (sharded mode).
@@ -169,6 +169,30 @@ struct HostState {
     nic: Port,
 }
 
+/// Interned gauge handles for one switch egress port, resolved once when
+/// telemetry is attached so [`Engine::sample_metrics`] refreshes gauges by
+/// dense index instead of string-keyed map probes.
+struct PortMetricIds {
+    backlog: MetricId,
+    tx: MetricId,
+    drops: MetricId,
+    /// Present only for WFQ-scheduled ports (the gauge never existed for
+    /// other schedulers in the string-keyed layout either).
+    wfq_vt: Option<MetricId>,
+    /// One depth gauge per configured QoS class.
+    class_depth: Vec<MetricId>,
+}
+
+/// All engine-level gauge handles, pre-registered by
+/// [`Engine::set_telemetry`].
+struct EngineMetricIds {
+    events_processed: MetricId,
+    queue_len: MetricId,
+    sw_ports: Vec<Vec<PortMetricIds>>,
+    /// Per host: (nic backlog, nic tx bytes).
+    hosts: Vec<(MetricId, MetricId)>,
+}
+
 /// The simulator engine, generic over the host agent type.
 ///
 /// Events live in a [`Slab`] arena and only 4-byte handles move through the
@@ -193,6 +217,9 @@ pub struct Engine<A: HostAgent> {
     loss_rng: SimRng,
     injected_losses: u64,
     telemetry: Telemetry,
+    /// Pre-registered gauge handles; `Some` exactly when telemetry is
+    /// enabled.
+    metric_ids: Option<EngineMetricIds>,
 }
 
 impl<A: HostAgent> Engine<A> {
@@ -306,6 +333,7 @@ impl<A: HostAgent> Engine<A> {
             loss_rng,
             injected_losses: 0,
             telemetry: Telemetry::disabled(),
+            metric_ids: None,
         }
     }
 
@@ -320,7 +348,71 @@ impl<A: HostAgent> Engine<A> {
     /// drop) are emitted through it and [`Engine::sample_metrics`] refreshes
     /// engine gauges into its registry. Telemetry never alters simulation
     /// behaviour (see `tests/determinism.rs`).
+    ///
+    /// Every engine gauge is interned here, once — label strings are built
+    /// at wiring time only and [`Engine::sample_metrics`] runs entirely on
+    /// dense handles.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metric_ids = telemetry.with_metrics(|m| {
+            // metric: one-time registration at wiring; the per-tick path in
+            // sample_metrics() runs on the interned ids only.
+            let events_processed = m.gauge_id("engine.events_processed", String::new());
+            let queue_len = m.gauge_id("engine.event_queue_len", String::new()); // metric: wiring-time
+            let sw_ports = self
+                .switches
+                .iter()
+                .enumerate()
+                .map(|(si, sw)| {
+                    let si_s = si.to_string();
+                    sw.ports
+                        .iter()
+                        .enumerate()
+                        .map(|(pi, p)| {
+                            let pi_s = pi.to_string();
+                            let l = labels(&[("sw", &si_s), ("port", &pi_s)]);
+                            PortMetricIds {
+                                backlog: m.gauge_id("switch.port.backlog_bytes", l.clone()),
+                                tx: m.gauge_id("switch.port.tx_bytes", l.clone()),
+                                drops: m.gauge_id("switch.port.drops", l.clone()),
+                                // Scheduler kind is fixed at construction, so
+                                // probing once here matches the old lazy
+                                // string-keyed registration exactly.
+                                wfq_vt: p
+                                    .wfq_virtual_time()
+                                    .map(|_| m.gauge_id("switch.port.wfq_virtual_time", l)),
+                                class_depth: (0..self.config.classes)
+                                    .map(|class| {
+                                        m.gauge_id(
+                                            "switch.port.class_depth_pkts",
+                                            labels(&[
+                                                ("sw", &si_s),
+                                                ("port", &pi_s),
+                                                ("class", &class.to_string()),
+                                            ]),
+                                        )
+                                    })
+                                    .collect(),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let hosts = (0..self.hosts.len())
+                .map(|hi| {
+                    let l = labels(&[("host", &hi.to_string())]);
+                    (
+                        m.gauge_id("host.nic.backlog_bytes", l.clone()),
+                        m.gauge_id("host.nic.tx_bytes", l),
+                    )
+                })
+                .collect();
+            EngineMetricIds {
+                events_processed,
+                queue_len,
+                sw_ports,
+                hosts,
+            }
+        });
         self.telemetry = telemetry;
     }
 
@@ -473,11 +565,16 @@ impl<A: HostAgent> Engine<A> {
 
     fn kick_one(&mut self, node: NodeRef, port: usize) {
         let now = self.queue.now();
-        let (port_state, link) = match node {
-            NodeRef::Host(h) => (&mut self.hosts[h.0].nic, self.topo.host_ports[h.0].link),
+        let (port_state, link, ppb) = match node {
+            NodeRef::Host(h) => (
+                &mut self.hosts[h.0].nic,
+                self.topo.host_ports[h.0].link,
+                self.topo.host_tx_ppb(h),
+            ),
             NodeRef::Switch(s) => (
                 &mut self.switches[s.0].ports[port],
                 self.topo.switch_ports[s.0][port].link,
+                self.topo.switch_tx_ppb(s, port),
             ),
         };
         if port_state.in_flight.is_some() {
@@ -510,7 +607,14 @@ impl<A: HostAgent> Engine<A> {
             }
         }
         if let Some(pkt) = port_state.dequeue() {
-            let ser = link.rate.serialize_time(pkt.size_bytes as u64);
+            // Exact fast path: ps/bit was precomputed at topology build for
+            // rates that divide the picosecond grid (all the defaults);
+            // bit-identical to the 128-bit division it replaces.
+            let ser = if ppb != 0 {
+                SimDuration::from_ps(pkt.size_bytes as u64 * 8 * ppb)
+            } else {
+                link.rate.serialize_time(pkt.size_bytes as u64)
+            };
             let tel_info = self
                 .telemetry
                 .is_enabled()
@@ -578,7 +682,9 @@ impl<A: HostAgent> Engine<A> {
                         self.injected_losses += 1;
                         return; // fault injection: packet vanishes
                     }
-                    let port = self.topo.route(s, pkt.dst(), pkt.flow.ecmp_hash());
+                    // Precomputed FIB: one array load per packet; the ECMP
+                    // hash is only computed on true fan-out rows.
+                    let port = self.topo.next_hop(s, pkt.dst(), &pkt.flow);
                     let class = pkt.class().min(self.config.classes - 1);
                     let bytes = pkt.size_bytes;
                     let p = &mut self.switches[s.0].ports[port];
@@ -798,53 +904,26 @@ impl<A: HostAgent> Engine<A> {
     /// virtual time, and event-loop totals. The harness calls this right
     /// before each [`Telemetry::sample`] tick; a no-op when disabled.
     pub fn sample_metrics(&self) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
+        let Some(ids) = &self.metric_ids else { return };
         self.telemetry.with_metrics(|m| {
-            m.gauge_set(
-                "engine.events_processed",
-                String::new(),
-                self.events_processed as f64,
-            );
-            m.gauge_set("engine.event_queue_len", String::new(), self.queue.len() as f64);
-            for (si, sw) in self.switches.iter().enumerate() {
-                let si_s = si.to_string();
-                for (pi, p) in sw.ports.iter().enumerate() {
-                    let pi_s = pi.to_string();
-                    let l = labels(&[("sw", &si_s), ("port", &pi_s)]);
-                    m.gauge_set("switch.port.backlog_bytes", l.clone(), p.backlog_bytes() as f64);
-                    m.gauge_set(
-                        "switch.port.tx_bytes",
-                        l.clone(),
-                        p.stats.total_tx_bytes() as f64,
-                    );
-                    m.gauge_set("switch.port.drops", l.clone(), p.stats.total_drops() as f64);
-                    if let Some(v) = p.wfq_virtual_time() {
-                        m.gauge_set("switch.port.wfq_virtual_time", l, v);
+            m.gauge_set_id(ids.events_processed, self.events_processed as f64);
+            m.gauge_set_id(ids.queue_len, self.queue.len() as f64);
+            for (sw, port_ids) in self.switches.iter().zip(&ids.sw_ports) {
+                for (p, pid) in sw.ports.iter().zip(port_ids) {
+                    m.gauge_set_id(pid.backlog, p.backlog_bytes() as f64);
+                    m.gauge_set_id(pid.tx, p.stats.total_tx_bytes() as f64);
+                    m.gauge_set_id(pid.drops, p.stats.total_drops() as f64);
+                    if let (Some(id), Some(v)) = (pid.wfq_vt, p.wfq_virtual_time()) {
+                        m.gauge_set_id(id, v);
                     }
-                    for class in 0..self.config.classes {
-                        let cl = labels(&[
-                            ("sw", &si_s),
-                            ("port", &pi_s),
-                            ("class", &class.to_string()),
-                        ]);
-                        m.gauge_set(
-                            "switch.port.class_depth_pkts",
-                            cl,
-                            p.class_backlog_packets(class) as f64,
-                        );
+                    for (class, &id) in pid.class_depth.iter().enumerate() {
+                        m.gauge_set_id(id, p.class_backlog_packets(class) as f64);
                     }
                 }
             }
-            for (hi, h) in self.hosts.iter().enumerate() {
-                let l = labels(&[("host", &hi.to_string())]);
-                m.gauge_set("host.nic.backlog_bytes", l.clone(), h.nic.backlog_bytes() as f64);
-                m.gauge_set(
-                    "host.nic.tx_bytes",
-                    l,
-                    h.nic.stats.total_tx_bytes() as f64,
-                );
+            for (h, &(backlog, tx)) in self.hosts.iter().zip(&ids.hosts) {
+                m.gauge_set_id(backlog, h.nic.backlog_bytes() as f64);
+                m.gauge_set_id(tx, h.nic.stats.total_tx_bytes() as f64);
             }
         });
     }

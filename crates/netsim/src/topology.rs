@@ -48,22 +48,90 @@ pub struct PortSpec {
     pub link: LinkSpec,
 }
 
+/// One row of the precomputed FIB: a `(offset, len)` window into the flat
+/// candidate-port array.
+#[derive(Debug, Clone, Copy)]
+struct FibRow {
+    offset: u32,
+    len: u32,
+}
+
 /// A network topology: hosts, switches, their ports, and routing.
 ///
 /// Hosts always have exactly one port (their NIC uplink). Routing is
 /// destination-based with optional ECMP: a switch may list several candidate
 /// egress ports for a destination and the engine picks one by flow hash.
+///
+/// Construction (every constructor funnels through the same table builder)
+/// precomputes two dense hot-path tables from the `routes` triple-`Vec`:
+///
+/// * a flat FIB — per `(switch, dst_host)` row of candidate egress ports in
+///   one contiguous array, so the per-packet [`Topology::next_hop`] is an
+///   array load (plus one modulo only on true ECMP fan-outs);
+/// * exact picoseconds-per-bit per egress port, so serialization delays are
+///   a single multiply instead of a 128-bit division per transmission.
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// Per-host uplink port.
     pub host_ports: Vec<PortSpec>,
     /// Per-switch list of egress ports.
     pub switch_ports: Vec<Vec<PortSpec>>,
-    /// `routes[switch][dst_host]` = candidate egress port indices.
+    /// `routes[switch][dst_host]` = candidate egress port indices. The
+    /// reference routing table; [`Topology::route`] consults it directly and
+    /// the FIB is flattened from it at construction.
     pub routes: Vec<Vec<Vec<usize>>>,
+    /// `fib_rows[switch * num_hosts + dst]` → window into `fib_ports`.
+    fib_rows: Vec<FibRow>,
+    /// Flat candidate egress-port array backing `fib_rows`.
+    fib_ports: Vec<u32>,
+    /// Exact ps/bit of each host uplink (0 = inexact rate, use the slow path).
+    host_ppb: Vec<u64>,
+    /// Exact ps/bit per switch egress port (0 = inexact rate).
+    switch_ppb: Vec<Vec<u64>>,
 }
 
 impl Topology {
+    /// Finish construction: take the human-shaped tables every constructor
+    /// builds and derive the dense hot-path tables from them. Panics if any
+    /// `(switch, dst)` pair has no candidate egress port.
+    fn assemble(
+        host_ports: Vec<PortSpec>,
+        switch_ports: Vec<Vec<PortSpec>>,
+        routes: Vec<Vec<Vec<usize>>>,
+    ) -> Topology {
+        let n = host_ports.len();
+        let mut fib_rows = Vec::with_capacity(routes.len() * n);
+        let mut fib_ports = Vec::new();
+        for (sw, by_dst) in routes.iter().enumerate() {
+            assert_eq!(by_dst.len(), n, "switch {sw} routes must cover every host");
+            for (dst, candidates) in by_dst.iter().enumerate() {
+                assert!(
+                    !candidates.is_empty(),
+                    "no route from switch {sw} to host {dst}"
+                );
+                fib_rows.push(FibRow {
+                    offset: fib_ports.len() as u32,
+                    len: candidates.len() as u32,
+                });
+                fib_ports.extend(candidates.iter().map(|&p| p as u32));
+            }
+        }
+        let ppb = |rate: aequitas_sim_core::BitRate| rate.ps_per_bit_exact().unwrap_or(0);
+        let host_ppb = host_ports.iter().map(|p| ppb(p.link.rate)).collect();
+        let switch_ppb = switch_ports
+            .iter()
+            .map(|ports| ports.iter().map(|p| ppb(p.link.rate)).collect())
+            .collect();
+        Topology {
+            host_ports,
+            switch_ports,
+            routes,
+            fib_rows,
+            fib_ports,
+            host_ppb,
+            switch_ppb,
+        }
+    }
     /// Number of hosts.
     pub fn num_hosts(&self) -> usize {
         self.host_ports.len()
@@ -87,6 +155,49 @@ impl Topology {
         candidates[(flow_hash % candidates.len() as u64) as usize]
     }
 
+    /// FIB variant of [`Topology::route`]: same `(switch, dst, hash)` →
+    /// egress-port function, answered from the flat precomputed table. The
+    /// two must agree for every input (see `fib_matches_route_*` tests).
+    #[inline]
+    pub fn fib_lookup(&self, sw: SwitchId, dst: HostId, flow_hash: u64) -> usize {
+        let row = self.fib_rows[sw.0 * self.host_ports.len() + dst.0];
+        let pick = if row.len == 1 {
+            0
+        } else {
+            (flow_hash % row.len as u64) as u32
+        };
+        self.fib_ports[(row.offset + pick) as usize] as usize
+    }
+
+    /// Per-packet forwarding: like [`Topology::fib_lookup`] but the ECMP
+    /// hash is computed lazily — single-candidate rows (the common case on
+    /// every hop except true fan-outs) never hash at all. `hash % 1 == 0`
+    /// for any hash, so laziness cannot change the pick.
+    #[inline]
+    pub fn next_hop(&self, sw: SwitchId, dst: HostId, flow: &crate::packet::FlowKey) -> usize {
+        let row = self.fib_rows[sw.0 * self.host_ports.len() + dst.0];
+        let pick = if row.len == 1 {
+            0
+        } else {
+            (flow.ecmp_hash() % row.len as u64) as u32
+        };
+        self.fib_ports[(row.offset + pick) as usize] as usize
+    }
+
+    /// Exact ps/bit of a host's uplink, or 0 when the rate needs the
+    /// 128-bit [`BitRate::serialize_time`](aequitas_sim_core::BitRate) path.
+    #[inline]
+    pub fn host_tx_ppb(&self, host: HostId) -> u64 {
+        self.host_ppb[host.0]
+    }
+
+    /// Exact ps/bit of a switch egress port, or 0 (see
+    /// [`Topology::host_tx_ppb`]).
+    #[inline]
+    pub fn switch_tx_ppb(&self, sw: SwitchId, port: usize) -> u64 {
+        self.switch_ppb[sw.0][port]
+    }
+
     /// A single-switch star: `n` hosts all attached to one switch.
     ///
     /// This realizes both the paper's 3-node microbenchmark (two clients and
@@ -107,11 +218,7 @@ impl Topology {
             })
             .collect::<Vec<_>>()];
         let routes = vec![(0..n).map(|h| vec![h]).collect()];
-        Topology {
-            host_ports,
-            switch_ports,
-            routes,
-        }
+        Topology::assemble(host_ports, switch_ports, routes)
     }
 
     /// A two-tier leaf–spine fabric: `racks × hosts_per_rack` hosts, one ToR
@@ -182,11 +289,7 @@ impl Topology {
             routes.push(spine_routes);
         }
 
-        Topology {
-            host_ports,
-            switch_ports,
-            routes,
-        }
+        Topology::assemble(host_ports, switch_ports, routes)
     }
 
     /// A three-tier Clos fabric: `pods` pods, each with `leaves_per_pod`
@@ -332,11 +435,7 @@ impl Topology {
             routes.push(core_routes);
         }
 
-        Topology {
-            host_ports,
-            switch_ports,
-            routes,
-        }
+        Topology::assemble(host_ports, switch_ports, routes)
     }
 }
 
@@ -472,6 +571,93 @@ mod tests {
             let down = t.route(sw, HostId(2), hash);
             assert_eq!(t.switch_ports[sw.0][down].peer, NodeRef::Switch(SwitchId(1)));
         }
+    }
+
+    /// The flat FIB must agree with the reference `route()` for every
+    /// `(switch, dst, hash)` — and `next_hop` with them, via real flow keys
+    /// (whose hashes exercise lazy hashing on single-candidate rows).
+    fn assert_fib_matches_route(t: &Topology) {
+        use crate::packet::FlowKey;
+        for sw in 0..t.num_switches() {
+            for dst in 0..t.num_hosts() {
+                for hash in [0u64, 1, 2, 7, 13, 64, 1 << 33, u64::MAX] {
+                    assert_eq!(
+                        t.fib_lookup(SwitchId(sw), HostId(dst), hash),
+                        t.route(SwitchId(sw), HostId(dst), hash),
+                        "fib != route at sw={sw} dst={dst} hash={hash}"
+                    );
+                }
+                for src in 0..t.num_hosts() {
+                    for class in 0..3u8 {
+                        let flow = FlowKey {
+                            src: HostId(src),
+                            dst: HostId(dst),
+                            class,
+                        };
+                        assert_eq!(
+                            t.next_hop(SwitchId(sw), HostId(dst), &flow),
+                            t.route(SwitchId(sw), HostId(dst), flow.ecmp_hash()),
+                            "next_hop != route at sw={sw} {src}->{dst} class={class}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fib_matches_route_star() {
+        assert_fib_matches_route(&Topology::star(5, link()));
+        assert_fib_matches_route(&Topology::star(2, link()));
+    }
+
+    #[test]
+    fn fib_matches_route_leaf_spine() {
+        assert_fib_matches_route(&Topology::leaf_spine(3, 4, 2, link(), link()));
+        assert_fib_matches_route(&Topology::leaf_spine(2, 2, 5, link(), link()));
+    }
+
+    #[test]
+    fn fib_matches_route_clos() {
+        assert_fib_matches_route(&Topology::clos(2, 2, 3, 4, 2, link(), link(), link()));
+        assert_fib_matches_route(&Topology::clos(3, 2, 2, 2, 4, link(), link(), link()));
+        assert_fib_matches_route(&Topology::clos(1, 1, 2, 2, 1, link(), link(), link()));
+    }
+
+    #[test]
+    fn precomputed_ppb_matches_serialize_time() {
+        // A mixed-rate fabric: edge at 100 G, aggr at 40 G, core at 25 G.
+        let mk = |gbps| LinkSpec {
+            rate: BitRate::from_gbps(gbps),
+            propagation: SimDuration::from_ns(500),
+        };
+        let t = Topology::clos(2, 2, 2, 2, 2, mk(100), mk(40), mk(25));
+        for h in 0..t.num_hosts() {
+            let ppb = t.host_tx_ppb(HostId(h));
+            assert!(ppb != 0);
+            assert_eq!(
+                SimDuration::from_ps(4160 * 8 * ppb),
+                t.host_ports[h].link.rate.serialize_time(4160)
+            );
+        }
+        for sw in 0..t.num_switches() {
+            for (pi, p) in t.switch_ports[sw].iter().enumerate() {
+                let ppb = t.switch_tx_ppb(SwitchId(sw), pi);
+                assert!(ppb != 0);
+                assert_eq!(
+                    SimDuration::from_ps(64 * 8 * ppb),
+                    p.link.rate.serialize_time(64)
+                );
+            }
+        }
+        // An inexact rate degrades to the sentinel, not a wrong table.
+        let odd = LinkSpec {
+            rate: BitRate(3),
+            propagation: SimDuration::from_ns(500),
+        };
+        let t = Topology::star(2, odd);
+        assert_eq!(t.host_tx_ppb(HostId(0)), 0);
+        assert_eq!(t.switch_tx_ppb(SwitchId(0), 1), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use aequitas::{AdmissionController, AequitasConfig, QuotaBucket, TenantId};
 use aequitas_netsim::{HostCtx, HostId, Packet};
 use aequitas_sim_core::{SimDuration, SimTime};
-use aequitas_telemetry::{labels, Telemetry, TraceEvent};
+use aequitas_telemetry::{labels, MetricId, Telemetry, TraceEvent};
 use aequitas_transport::{Transport, TransportConfig};
 use aequitas_workloads::{size_in_mtus, Priority, QosClass, QosMapping};
 
@@ -239,6 +239,33 @@ impl PendingTable {
     }
 }
 
+/// Interned metric handles for this stack's hot-path telemetry sites.
+///
+/// Gauges refreshed by [`RpcStack::sample_metrics`] are registered eagerly
+/// when telemetry attaches (the harness refreshes them before every sampling
+/// tick, so the slots would exist by the first snapshot either way). Event
+/// counters and histograms stay `None` until their first hit so slot
+/// creation — and therefore the exported CSV — matches the old string-keyed
+/// path byte for byte.
+struct StackMetricIds {
+    outstanding: MetricId,
+    queued_messages: MetricId,
+    unacked_packets: MetricId,
+    /// Present iff an admission policy is active (see
+    /// [`RpcStack::admission_counters`]).
+    ctl_issued: Option<MetricId>,
+    ctl_downgraded: Option<MetricId>,
+    rejected: Option<MetricId>,
+    downgraded: Option<MetricId>,
+    retry_scheduled: Option<MetricId>,
+    failed: Option<MetricId>,
+    retried: Option<MetricId>,
+    /// Indexed by `qos_run`; sized to the mapping's level count.
+    issued: Vec<Option<MetricId>>,
+    rnl_hist: Vec<Option<MetricId>>,
+    completed: Vec<Option<MetricId>>,
+}
+
 /// Per-host RPC stack: priority→QoS mapping, admission policy, transport.
 pub struct RpcStack {
     host: HostId,
@@ -257,6 +284,7 @@ pub struct RpcStack {
     retry_timer_at: Option<SimTime>,
     rpc_failures: Vec<RpcFailure>,
     telemetry: Telemetry,
+    metric_ids: Option<StackMetricIds>,
 }
 
 impl RpcStack {
@@ -289,6 +317,7 @@ impl RpcStack {
             retry_timer_at: None,
             rpc_failures: Vec::new(),
             telemetry: Telemetry::disabled(),
+            metric_ids: None,
         }
     }
 
@@ -319,6 +348,26 @@ impl RpcStack {
                 controller: ctl, ..
             } => ctl.attach_telemetry(telemetry.clone(), host),
         }
+        let has_controller = !matches!(self.policy, Policy::Static);
+        let levels = self.mapping.levels();
+        self.metric_ids = telemetry.with_metrics(|m| {
+            let l = labels(&[("host", &host.to_string())]);
+            StackMetricIds {
+                outstanding: m.gauge_id("rpc.outstanding", l.clone()),
+                queued_messages: m.gauge_id("transport.queued_messages", l.clone()),
+                unacked_packets: m.gauge_id("transport.unacked_packets", l.clone()),
+                ctl_issued: has_controller.then(|| m.gauge_id("controller.issued", l.clone())),
+                ctl_downgraded: has_controller.then(|| m.gauge_id("controller.downgraded", l)),
+                rejected: None,
+                downgraded: None,
+                retry_scheduled: None,
+                failed: None,
+                retried: None,
+                issued: vec![None; levels],
+                rnl_hist: vec![None; levels],
+                completed: vec![None; levels],
+            }
+        });
         self.telemetry = telemetry;
     }
 
@@ -399,13 +448,18 @@ impl RpcStack {
                     // Reject: the RPC never enters the network.
                     self.dropped += 1;
                     self.dropped_bytes += size_bytes;
-                    self.telemetry.with_metrics(|m| {
-                        m.counter_add(
-                            "rpc.rejected",
-                            labels(&[("host", &self.host.0.to_string())]),
-                            1,
-                        );
-                    });
+                    let host = self.host.0;
+                    if let Some(ids) = self.metric_ids.as_mut() {
+                        self.telemetry.with_metrics(|m| {
+                            let id = *ids.rejected.get_or_insert_with(|| {
+                                m.counter_id(
+                                    "rpc.rejected",
+                                    labels(&[("host", &host.to_string())]),
+                                )
+                            });
+                            m.counter_add_id(id, 1);
+                        });
+                    }
                     if let Some(id) = first_rpc_id {
                         // A rejected *retry* is a terminal failure for the
                         // original RPC, not a silent drop.
@@ -486,20 +540,30 @@ impl RpcStack {
                     p_admit: self.admit_probability(dst, qos_requested),
                 },
             );
-            self.telemetry.with_metrics(|m| {
-                let l = labels(&[
-                    ("host", &self.host.0.to_string()),
-                    ("qos", &qos_run.0.to_string()),
-                ]);
-                m.counter_add("rpc.issued", l, 1);
-                if downgraded {
-                    m.counter_add(
-                        "rpc.downgraded",
-                        labels(&[("host", &self.host.0.to_string())]),
-                        1,
-                    );
-                }
-            });
+            let host = self.host.0;
+            if let Some(ids) = self.metric_ids.as_mut() {
+                self.telemetry.with_metrics(|m| {
+                    let id = *ids.issued[qos_run.0 as usize].get_or_insert_with(|| {
+                        m.counter_id(
+                            "rpc.issued",
+                            labels(&[
+                                ("host", &host.to_string()),
+                                ("qos", &qos_run.0.to_string()),
+                            ]),
+                        )
+                    });
+                    m.counter_add_id(id, 1);
+                    if downgraded {
+                        let id = *ids.downgraded.get_or_insert_with(|| {
+                            m.counter_id(
+                                "rpc.downgraded",
+                                labels(&[("host", &host.to_string())]),
+                            )
+                        });
+                        m.counter_add_id(id, 1);
+                    }
+                });
+            }
         }
         self.transport
             .send_message(ctx, dst, qos_run.0, rpc_id, size_bytes);
@@ -660,15 +724,25 @@ impl RpcStack {
                         rnl_per_mtu_ps: completion.rnl_per_mtu().as_ps(),
                     },
                 );
-                self.telemetry.with_metrics(|m| {
-                    let l = labels(&[("qos", &completion.qos_run.0.to_string())]);
-                    m.hist_record(
-                        "rpc.rnl_per_mtu_ns",
-                        l.clone(),
-                        completion.rnl_per_mtu().as_ns(),
-                    );
-                    m.counter_add("rpc.completed", l, 1);
-                });
+                if let Some(ids) = self.metric_ids.as_mut() {
+                    let qos = completion.qos_run.0;
+                    self.telemetry.with_metrics(|m| {
+                        let hid = *ids.rnl_hist[qos as usize].get_or_insert_with(|| {
+                            m.hist_id(
+                                "rpc.rnl_per_mtu_ns",
+                                labels(&[("qos", &qos.to_string())]),
+                            )
+                        });
+                        m.hist_record_id(hid, completion.rnl_per_mtu().as_ns());
+                        let cid = *ids.completed[qos as usize].get_or_insert_with(|| {
+                            m.counter_id(
+                                "rpc.completed",
+                                labels(&[("qos", &qos.to_string())]),
+                            )
+                        });
+                        m.counter_add_id(cid, 1);
+                    });
+                }
             }
             self.completions.push(completion);
         }
@@ -696,13 +770,18 @@ impl RpcStack {
                 };
                 let pos = self.retry_queue.partition_point(|r| r.due <= due);
                 self.retry_queue.insert(pos, retry);
-                self.telemetry.with_metrics(|m| {
-                    m.counter_add(
-                        "rpc.retry_scheduled",
-                        labels(&[("host", &self.host.0.to_string())]),
-                        1,
-                    );
-                });
+                let host = self.host.0;
+                if let Some(ids) = self.metric_ids.as_mut() {
+                    self.telemetry.with_metrics(|m| {
+                        let id = *ids.retry_scheduled.get_or_insert_with(|| {
+                            m.counter_id(
+                                "rpc.retry_scheduled",
+                                labels(&[("host", &host.to_string())]),
+                            )
+                        });
+                        m.counter_add_id(id, 1);
+                    });
+                }
                 self.arm_retry_timer(ctx);
             } else {
                 if self.telemetry.is_enabled() {
@@ -710,6 +789,8 @@ impl RpcStack {
                         f.failed_at,
                         TraceEvent::Warn {
                             component: "rpc".into(),
+                            // metric: terminal-failure diagnostics — an RPC
+                            // reaches this at most once, not per event.
                             message: format!(
                                 "rpc {:#x} to host {} failed after {} attempts ({})",
                                 info.first_rpc_id,
@@ -723,13 +804,18 @@ impl RpcStack {
                             ),
                         },
                     );
-                    self.telemetry.with_metrics(|m| {
-                        m.counter_add(
-                            "rpc.failed",
-                            labels(&[("host", &self.host.0.to_string())]),
-                            1,
-                        );
-                    });
+                    let host = self.host.0;
+                    if let Some(ids) = self.metric_ids.as_mut() {
+                        self.telemetry.with_metrics(|m| {
+                            let id = *ids.failed.get_or_insert_with(|| {
+                                m.counter_id(
+                                    "rpc.failed",
+                                    labels(&[("host", &host.to_string())]),
+                                )
+                            });
+                            m.counter_add_id(id, 1);
+                        });
+                    }
                 }
                 self.rpc_failures.push(RpcFailure {
                     rpc_id: info.first_rpc_id,
@@ -754,13 +840,15 @@ impl RpcStack {
                 break;
             }
             let r = self.retry_queue.remove(0);
-            self.telemetry.with_metrics(|m| {
-                m.counter_add(
-                    "rpc.retried",
-                    labels(&[("host", &self.host.0.to_string())]),
-                    1,
-                );
-            });
+            let host = self.host.0;
+            if let Some(ids) = self.metric_ids.as_mut() {
+                self.telemetry.with_metrics(|m| {
+                    let id = *ids.retried.get_or_insert_with(|| {
+                        m.counter_id("rpc.retried", labels(&[("host", &host.to_string())]))
+                    });
+                    m.counter_add_id(id, 1);
+                });
+            }
             self.issue_attempt(
                 ctx,
                 r.dst,
@@ -789,25 +877,18 @@ impl RpcStack {
     /// harness calls this right before each sampling tick; a no-op when
     /// telemetry is disabled.
     pub fn sample_metrics(&self) {
-        if !self.telemetry.is_enabled() {
+        let Some(ids) = &self.metric_ids else {
             return;
-        }
+        };
         self.telemetry.with_metrics(|m| {
-            let l = labels(&[("host", &self.host.0.to_string())]);
-            m.gauge_set("rpc.outstanding", l.clone(), self.pending.len() as f64);
-            m.gauge_set(
-                "transport.queued_messages",
-                l.clone(),
-                self.transport.queued_messages() as f64,
-            );
-            m.gauge_set(
-                "transport.unacked_packets",
-                l.clone(),
-                self.transport.unacked_packets() as f64,
-            );
+            m.gauge_set_id(ids.outstanding, self.pending.len() as f64);
+            m.gauge_set_id(ids.queued_messages, self.transport.queued_messages() as f64);
+            m.gauge_set_id(ids.unacked_packets, self.transport.unacked_packets() as f64);
             if let Some((issued, downgraded)) = self.admission_counters() {
-                m.gauge_set("controller.issued", l.clone(), issued as f64);
-                m.gauge_set("controller.downgraded", l, downgraded as f64);
+                if let (Some(i), Some(d)) = (ids.ctl_issued, ids.ctl_downgraded) {
+                    m.gauge_set_id(i, issued as f64);
+                    m.gauge_set_id(d, downgraded as f64);
+                }
             }
         });
     }

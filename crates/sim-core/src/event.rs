@@ -79,13 +79,15 @@ impl<E> Ord for HeapEntry<E> {
     }
 }
 
-/// log2 of the bucket width in picoseconds: 2^17 ps ≈ 131 ns, on the order
-/// of one MTU serialization time at 100 Gbps, so bucket occupancy stays
-/// O(1) under packet-rate event churn.
-const BUCKET_BITS: u32 = 17;
-/// Ring size (power of two): 4096 buckets ≈ 537 µs of horizon, comfortably
+/// log2 of the bucket width in picoseconds: 2^14 ps ≈ 16 ns. Popping
+/// re-scans the current bucket once per resident event, so the width is
+/// sized for ~1 event per bucket at the busiest observed churn (an 8-host
+/// fan-in runs ~150 events/µs through the queue); wider buckets make every
+/// pop pay a multi-entry min-scan.
+const BUCKET_BITS: u32 = 14;
+/// Ring size (power of two): 16384 buckets ≈ 268 µs of horizon, comfortably
 /// past RTT-scale scheduling; only RTO-scale timers overflow to the heap.
-const NUM_BUCKETS: usize = 4096;
+const NUM_BUCKETS: usize = 16384;
 const WORDS: usize = NUM_BUCKETS / 64;
 
 #[inline]
@@ -250,6 +252,54 @@ impl<E> Calendar<E> {
         self.ring_len -= 1;
         Some(entry)
     }
+
+    /// Bounded pop: at most one bitmap scan and one bucket scan, instead of
+    /// the two of each a `peek_time` + `pop` pair costs. `base` is committed
+    /// only when an event is actually returned — on the `None` path this is
+    /// as read-only as a peek, which the sharded engine's window protocol
+    /// relies on (it may inject arrivals earlier than the peeked event).
+    fn pop_if_at_or_before(&mut self, end: SimTime) -> Option<(SimTime, u64, E)> {
+        if self.ring_len == 0 {
+            let t = self.overflow.peek()?.time;
+            if t > end {
+                return None;
+            }
+            // The pop below is now certain: jump the cursor straight to the
+            // earliest overflow event and pull it (plus any peers inside the
+            // new horizon) into the ring.
+            debug_assert!(bucket_of(t) >= self.base);
+            self.base = bucket_of(t);
+            self.migrate();
+            debug_assert!(self.ring_len > 0);
+        }
+        let slot = self.first_occupied_slot();
+        let bucket = &self.buckets[slot];
+        let mut best = 0;
+        for (i, entry) in bucket.iter().enumerate().skip(1) {
+            if (entry.0, entry.1) < (bucket[best].0, bucket[best].1) {
+                best = i;
+            }
+        }
+        if bucket[best].0 > end {
+            return None;
+        }
+        let start = (self.base as usize) & (NUM_BUCKETS - 1);
+        let dist = (slot + NUM_BUCKETS - start) % NUM_BUCKETS;
+        if dist > 0 {
+            self.base += dist as u64;
+            // Migration may append entries to this very slot (buckets that
+            // alias it modulo the ring size); appends leave index `best`
+            // pointing at the same entry, and every migrated event lives in
+            // a strictly later bucket, so `best` is still the minimum.
+            self.migrate();
+        }
+        let entry = self.buckets[slot].swap_remove(best);
+        if self.buckets[slot].is_empty() {
+            self.clear_bit(slot);
+        }
+        self.ring_len -= 1;
+        Some(entry)
+    }
 }
 
 // One Backend lives per EventQueue (one per simulation), so the inline
@@ -378,12 +428,7 @@ impl<E> EventQueue<E> {
                 let entry = heap.pop().expect("peek above proved non-empty");
                 (entry.time, entry.seq, entry.event)
             }
-            Backend::Calendar(cal) => {
-                if cal.peek_time().map(|t| t > end).unwrap_or(true) {
-                    return None;
-                }
-                cal.pop().expect("peek_time above proved non-empty")
-            }
+            Backend::Calendar(cal) => cal.pop_if_at_or_before(end)?,
         };
         let (time, seq, event) = popped;
         self.advance_clock(time);
@@ -615,6 +660,41 @@ mod tests {
                 }
             }
             prop_assert_eq!(cal.len(), heap.len());
+        }
+
+        /// The calendar's native bounded pop is byte-identical to the heap's
+        /// peek-then-pop, including bounded probes that return `None` (which
+        /// must not commit the calendar cursor: later schedules may still
+        /// land before the probed event — the sharded-injection pattern).
+        #[test]
+        fn prop_bounded_pop_matches_heap(
+            ops in proptest::collection::vec(
+                (0u64..2_000_000_000_000, 0u64..600_000_000_000, 0u32..4),
+                1..300,
+            )
+        ) {
+            let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+            let mut heap = EventQueue::with_kind(QueueKind::Heap);
+            for (payload, &(dt, bound_dt, pops)) in ops.iter().enumerate() {
+                let at = SimTime::from_ps(cal.now().as_ps().saturating_add(dt));
+                cal.schedule(at, payload as u64);
+                heap.schedule(at, payload as u64);
+                let end = SimTime::from_ps(cal.now().as_ps().saturating_add(bound_dt));
+                for _ in 0..pops {
+                    let a = cal.pop_if_at_or_before(end).map(|e| (e.time, e.seq, e.event));
+                    let b = heap.pop_if_at_or_before(end).map(|e| (e.time, e.seq, e.event));
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(cal.now(), heap.now());
+                }
+            }
+            loop {
+                let a = cal.pop_if_at_or_before(SimTime::MAX).map(|e| (e.time, e.seq, e.event));
+                let b = heap.pop_if_at_or_before(SimTime::MAX).map(|e| (e.time, e.seq, e.event));
+                prop_assert_eq!(a.clone(), b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 

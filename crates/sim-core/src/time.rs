@@ -303,6 +303,23 @@ impl BitRate {
         let ps = bits * PS_PER_SEC as u128 / self.0 as u128;
         SimDuration(ps as u64)
     }
+    /// Exact picoseconds per bit, when this rate divides the picosecond
+    /// grid evenly (all common datacenter rates do: 100 Gbps → 10 ps/bit).
+    ///
+    /// Callers cache the value next to per-port state so the per-packet
+    /// [`BitRate::serialize_time`] becomes a single multiply instead of a
+    /// 128-bit division. `None` when the division is inexact or the rate is
+    /// so low that `bytes * 8 * ps_per_bit` could overflow; fall back to
+    /// [`BitRate::serialize_time`] then.
+    pub fn ps_per_bit_exact(self) -> Option<u64> {
+        if self.0 == 0 || !PS_PER_SEC.is_multiple_of(self.0) {
+            return None;
+        }
+        let ppb = PS_PER_SEC / self.0;
+        // u32::MAX bytes * 8 bits * ppb must fit in u64.
+        (ppb <= 1 << 28).then_some(ppb)
+    }
+
     /// How many whole bytes this rate delivers in `dur`.
     pub fn bytes_in(self, dur: SimDuration) -> u64 {
         (dur.0 as u128 * self.0 as u128 / (8 * PS_PER_SEC as u128)) as u64
@@ -332,6 +349,28 @@ mod tests {
         assert_eq!(r.serialize_time(4096), SimDuration::from_ps(327_680));
         // 32 KB = 8 MTUs.
         assert_eq!(r.serialize_time(32_768), SimDuration::from_ps(2_621_440));
+    }
+
+    #[test]
+    fn ps_per_bit_exact_matches_serialize_time() {
+        for gbps in [1u64, 10, 25, 40, 100, 200] {
+            let r = BitRate::from_gbps(gbps);
+            let ppb = r.ps_per_bit_exact().expect("datacenter rates are exact");
+            for bytes in [1u64, 64, 1500, 4096, 65536, u32::MAX as u64] {
+                assert_eq!(
+                    SimDuration::from_ps(bytes * 8 * ppb),
+                    r.serialize_time(bytes),
+                    "{gbps} Gbps x {bytes} B"
+                );
+            }
+        }
+        // 400 Gbps is 2.5 ps/bit: not on the integer picosecond grid.
+        assert_eq!(BitRate::from_gbps(400).ps_per_bit_exact(), None);
+        // 3 bps does not divide the picosecond grid either.
+        assert_eq!(BitRate(3).ps_per_bit_exact(), None);
+        assert_eq!(BitRate(0).ps_per_bit_exact(), None);
+        // 1 bps divides evenly but would overflow the multiply.
+        assert_eq!(BitRate(1).ps_per_bit_exact(), None);
     }
 
     #[test]

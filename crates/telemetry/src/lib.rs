@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use hist::LogLinearHistogram;
-pub use metrics::{labels, MetricsRegistry};
+pub use metrics::{labels, MetricId, MetricsRegistry};
 pub use trace::{FlightRecorder, JsonlWriter, NodeKind, NullSink, TraceEvent, TraceSink};
 
 use aequitas_sim_core::{SimDuration, SimTime};
@@ -55,6 +55,9 @@ struct TraceState {
     /// Largest simulated timestamp seen so far; stamps events (warns) that
     /// arrive without their own clock.
     last_t_ps: u64,
+    /// Serialization buffer handed to the sink on every event, so steady-
+    /// state emission allocates nothing.
+    scratch: String,
 }
 
 struct Inner {
@@ -96,6 +99,7 @@ impl Telemetry {
                     sink: Box::new(sink),
                     seq: 0,
                     last_t_ps: 0,
+                    scratch: String::with_capacity(256),
                 }),
                 metrics: Mutex::new(MetricsRegistry::new()),
                 sample_every: config.sample_every,
@@ -118,17 +122,18 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    /// Emit one trace event stamped with simulated time `now`.
+    /// Emit one trace event stamped with simulated time `now`. The event is
+    /// handed to the sink as a struct together with a reused serialization
+    /// buffer — steady-state emission performs no allocation.
     #[inline]
     pub fn emit(&self, now: SimTime, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            let mut st = inner.trace.lock().unwrap();
+            let st = &mut *inner.trace.lock().unwrap();
             let t_ps = now.as_ps();
             st.last_t_ps = st.last_t_ps.max(t_ps);
             let seq = st.seq;
             st.seq += 1;
-            let line = event.to_json(seq, t_ps);
-            st.sink.record_line(&line);
+            st.sink.record_event(seq, t_ps, &event, &mut st.scratch);
         }
     }
 
@@ -136,15 +141,14 @@ impl Telemetry {
     /// timestamp this handle has seen.
     pub fn warn(&self, component: &str, message: impl Into<String>) {
         if let Some(inner) = &self.inner {
-            let mut st = inner.trace.lock().unwrap();
+            let st = &mut *inner.trace.lock().unwrap();
             let (seq, t_ps) = (st.seq, st.last_t_ps);
             st.seq += 1;
-            let line = TraceEvent::Warn {
+            let event = TraceEvent::Warn {
                 component: component.to_string(),
                 message: message.into(),
-            }
-            .to_json(seq, t_ps);
-            st.sink.record_line(&line);
+            };
+            st.sink.record_event(seq, t_ps, &event, &mut st.scratch);
         }
     }
 

@@ -3,11 +3,16 @@
 //! time-series.
 //!
 //! Metric names are dotted lowercase (`switch.port.backlog_bytes`); labels
-//! are a canonical `k=v,k=v` string built with [`labels`]. Keys live in a
-//! `BTreeMap` so iteration — and therefore every CSV export — is
-//! deterministic. [`MetricsRegistry::sample`] snapshots the current value of
-//! every counter and gauge (and derived percentiles of every histogram)
-//! into per-key time-series for plotting.
+//! are a canonical `k=v,k=v` string built with [`labels`]. The hot path is
+//! handle-based: callers intern a `(metric, labels)` pair once (at wiring
+//! time or on first use) into a [`MetricId`] and update through it — a
+//! bounds-checked `Vec` index, no string hashing or allocation per event.
+//! Key strings survive only in the registration index (a `BTreeMap`, so
+//! iteration — and therefore every CSV export — stays deterministic) and in
+//! the string-keyed convenience API, which interns on every call and is
+//! meant for tests and cold paths. [`MetricsRegistry::sample`] snapshots the
+//! current value of every counter and gauge (and derived percentiles of
+//! every histogram) into per-key time-series for plotting.
 
 use crate::hist::LogLinearHistogram;
 use aequitas_sim_core::SimTime;
@@ -29,6 +34,13 @@ pub fn labels(pairs: &[(&str, &str)]) -> String {
 
 type Key = (String, String);
 
+/// Dense handle to one `(metric, labels)` slot, produced by the `*_id`
+/// interning methods. Resolving the strings happens once; every subsequent
+/// update through the handle is a `Vec` index. Handles are only meaningful
+/// for the registry that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
 #[derive(Debug, Clone)]
 enum Slot {
     Counter(u64),
@@ -42,7 +54,12 @@ const HIST_PERCENTILES: [(f64, &str); 3] = [(50.0, "p50"), (99.0, "p99"), (99.9,
 /// A registry of named metrics with periodic time-series snapshots.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    slots: BTreeMap<Key, Slot>,
+    /// Dense slot storage; [`MetricId`] indexes this directly.
+    slots: Vec<Slot>,
+    /// Registration/export index. Sorted iteration keeps sampling and CSV
+    /// export deterministic and byte-identical to the string-keyed layout
+    /// this replaced.
+    index: BTreeMap<Key, u32>,
     series: BTreeMap<Key, Vec<(u64, f64)>>,
     samples_taken: u64,
 }
@@ -53,45 +70,94 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Add `delta` to a counter, creating it at zero first if needed.
-    pub fn counter_add(&mut self, name: impl Into<String>, labels: String, delta: u64) {
-        match self
-            .slots
-            .entry((name.into(), labels))
-            .or_insert(Slot::Counter(0))
-        {
+    /// Intern `(name, labels)` and return its dense handle, creating the
+    /// slot with `init` if the key is new. Slot *type* is fixed by whoever
+    /// interns first; mismatched updates through any API are debug-asserted
+    /// and ignored, exactly as the string-keyed API always behaved.
+    fn intern(&mut self, name: impl Into<String>, labels: String, init: impl FnOnce() -> Slot) -> MetricId {
+        let key = (name.into(), labels);
+        if let Some(&id) = self.index.get(&key) {
+            return MetricId(id);
+        }
+        let id = u32::try_from(self.slots.len()).expect("metric slot count fits u32");
+        self.slots.push(init());
+        self.index.insert(key, id);
+        MetricId(id)
+    }
+
+    /// Intern a counter metric, creating it at zero if needed.
+    pub fn counter_id(&mut self, name: impl Into<String>, labels: String) -> MetricId {
+        self.intern(name, labels, || Slot::Counter(0))
+    }
+
+    /// Intern a gauge metric, creating it at zero if needed.
+    pub fn gauge_id(&mut self, name: impl Into<String>, labels: String) -> MetricId {
+        self.intern(name, labels, || Slot::Gauge(0.0))
+    }
+
+    /// Intern a histogram metric, creating it empty if needed.
+    pub fn hist_id(&mut self, name: impl Into<String>, labels: String) -> MetricId {
+        self.intern(name, labels, || Slot::Hist(LogLinearHistogram::new()))
+    }
+
+    /// Add `delta` to the counter behind `id`.
+    #[inline]
+    pub fn counter_add_id(&mut self, id: MetricId, delta: u64) {
+        match &mut self.slots[id.0 as usize] {
             Slot::Counter(c) => *c += delta,
             other => debug_assert!(false, "metric type mismatch: {other:?}"),
         }
     }
 
-    /// Set a gauge to `value`.
-    pub fn gauge_set(&mut self, name: impl Into<String>, labels: String, value: f64) {
-        match self
-            .slots
-            .entry((name.into(), labels))
-            .or_insert(Slot::Gauge(0.0))
-        {
+    /// Set the gauge behind `id` to `value`.
+    #[inline]
+    pub fn gauge_set_id(&mut self, id: MetricId, value: f64) {
+        match &mut self.slots[id.0 as usize] {
             Slot::Gauge(g) => *g = value,
             other => debug_assert!(false, "metric type mismatch: {other:?}"),
         }
     }
 
-    /// Record `value` into a histogram metric.
-    pub fn hist_record(&mut self, name: impl Into<String>, labels: String, value: u64) {
-        match self
-            .slots
-            .entry((name.into(), labels))
-            .or_insert_with(|| Slot::Hist(LogLinearHistogram::new()))
-        {
+    /// Record `value` into the histogram behind `id`.
+    #[inline]
+    pub fn hist_record_id(&mut self, id: MetricId, value: u64) {
+        match &mut self.slots[id.0 as usize] {
             Slot::Hist(h) => h.record(value),
             other => debug_assert!(false, "metric type mismatch: {other:?}"),
         }
     }
 
+    /// Add `delta` to a counter, creating it at zero first if needed.
+    ///
+    /// Interns on every call — cold paths and tests only; hot paths hold a
+    /// [`MetricId`] from [`MetricsRegistry::counter_id`].
+    pub fn counter_add(&mut self, name: impl Into<String>, labels: String, delta: u64) {
+        let id = self.counter_id(name, labels);
+        self.counter_add_id(id, delta);
+    }
+
+    /// Set a gauge to `value`. Interns on every call (see
+    /// [`MetricsRegistry::counter_add`]).
+    pub fn gauge_set(&mut self, name: impl Into<String>, labels: String, value: f64) {
+        let id = self.gauge_id(name, labels);
+        self.gauge_set_id(id, value);
+    }
+
+    /// Record `value` into a histogram metric. Interns on every call (see
+    /// [`MetricsRegistry::counter_add`]).
+    pub fn hist_record(&mut self, name: impl Into<String>, labels: String, value: u64) {
+        let id = self.hist_id(name, labels);
+        self.hist_record_id(id, value);
+    }
+
+    fn slot(&self, name: &str, labels: &str) -> Option<&Slot> {
+        let id = *self.index.get(&(name.to_string(), labels.to_string()))?;
+        Some(&self.slots[id as usize])
+    }
+
     /// Current value of a counter, if it exists.
     pub fn counter(&self, name: &str, labels: &str) -> Option<u64> {
-        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+        match self.slot(name, labels)? {
             Slot::Counter(c) => Some(*c),
             _ => None,
         }
@@ -99,7 +165,7 @@ impl MetricsRegistry {
 
     /// Current value of a gauge, if it exists.
     pub fn gauge(&self, name: &str, labels: &str) -> Option<f64> {
-        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+        match self.slot(name, labels)? {
             Slot::Gauge(g) => Some(*g),
             _ => None,
         }
@@ -107,7 +173,7 @@ impl MetricsRegistry {
 
     /// Percentile `p` of a histogram metric, if it exists and is non-empty.
     pub fn percentile(&self, name: &str, labels: &str, p: f64) -> Option<u64> {
-        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+        match self.slot(name, labels)? {
             Slot::Hist(h) => h.percentile(p),
             _ => None,
         }
@@ -115,7 +181,7 @@ impl MetricsRegistry {
 
     /// Read access to a histogram metric.
     pub fn histogram(&self, name: &str, labels: &str) -> Option<&LogLinearHistogram> {
-        match self.slots.get(&(name.to_string(), labels.to_string()))? {
+        match self.slot(name, labels)? {
             Slot::Hist(h) => Some(h),
             _ => None,
         }
@@ -126,16 +192,19 @@ impl MetricsRegistry {
     pub fn sample(&mut self, now: SimTime) {
         let t = now.as_ps();
         self.samples_taken += 1;
-        for ((name, labels), slot) in &self.slots {
-            match slot {
+        // Walk the sorted index so series creation order (and therefore CSV
+        // export) is identical to the old string-keyed registry.
+        let MetricsRegistry { slots, index, series, .. } = self;
+        for ((name, labels), &id) in index.iter() {
+            match &slots[id as usize] {
                 Slot::Counter(c) => {
-                    self.series
+                    series
                         .entry((name.clone(), labels.clone()))
                         .or_default()
                         .push((t, *c as f64));
                 }
                 Slot::Gauge(g) => {
-                    self.series
+                    series
                         .entry((name.clone(), labels.clone()))
                         .or_default()
                         .push((t, *g));
@@ -143,7 +212,7 @@ impl MetricsRegistry {
                 Slot::Hist(h) => {
                     for (p, tag) in HIST_PERCENTILES {
                         if let Some(v) = h.percentile(p) {
-                            self.series
+                            series
                                 .entry((format!("{name}.{tag}"), labels.clone()))
                                 .or_default()
                                 .push((t, v as f64));
@@ -235,6 +304,34 @@ mod tests {
         r.sample(SimTime::from_us(10));
         assert!(r.series("rnl.p99", "qos=0").is_some());
         assert!(r.series("rnl.p50", "qos=0").is_some());
+    }
+
+    #[test]
+    fn handle_api_matches_string_api() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        // Register out of sorted order: export order must still come from
+        // the sorted index, not slot-creation order.
+        let c = a.counter_id("pkts", labels(&[("class", "1")]));
+        let g = a.gauge_id("depth", String::new());
+        let h = a.hist_id("rnl", labels(&[("qos", "0")]));
+        a.counter_add_id(c, 5);
+        a.gauge_set_id(g, 2.5);
+        b.counter_add("pkts", labels(&[("class", "1")]), 5);
+        b.gauge_set("depth", String::new(), 2.5);
+        for v in 1..=100u64 {
+            a.hist_record_id(h, v);
+            b.hist_record("rnl", labels(&[("qos", "0")]), v);
+        }
+        a.sample(SimTime::from_us(3));
+        b.sample(SimTime::from_us(3));
+        let (mut csv_a, mut csv_b) = (Vec::new(), Vec::new());
+        a.write_series_csv(&mut csv_a).unwrap();
+        b.write_series_csv(&mut csv_b).unwrap();
+        assert_eq!(csv_a, csv_b);
+        assert_eq!(a.counter("pkts", "class=1"), Some(5));
+        // Re-interning the same key returns the same handle.
+        assert_eq!(a.counter_id("pkts", labels(&[("class", "1")])), c);
     }
 
     #[test]

@@ -232,10 +232,19 @@ impl TraceEvent {
         }
     }
 
-    /// Serialize as one JSON object (no trailing newline). `seq` and `t_ps`
-    /// lead every record so downstream tools can sort/merge streams.
+    /// Serialize as one JSON object (no trailing newline). Convenience
+    /// wrapper over [`TraceEvent::write_json`] that allocates a fresh
+    /// string; hot paths reuse a scratch buffer instead.
     pub fn to_json(&self, seq: u64, t_ps: u64) -> String {
         let mut s = String::with_capacity(160);
+        self.write_json(&mut s, seq, t_ps);
+        s
+    }
+
+    /// Serialize as one JSON object (no trailing newline) appended to `s`.
+    /// `seq` and `t_ps` lead every record so downstream tools can sort/merge
+    /// streams. Byte-identical to what [`TraceEvent::to_json`] returns.
+    pub fn write_json(&self, s: &mut String, seq: u64, t_ps: u64) {
         let _ = write!(s, "{{\"seq\":{seq},\"t_ps\":{t_ps},\"type\":\"{}\"", self.type_tag());
         match self {
             TraceEvent::PktEnqueue {
@@ -398,7 +407,6 @@ impl TraceEvent {
             }
         }
         s.push('}');
-        s
     }
 }
 
@@ -426,6 +434,16 @@ fn escape_json(s: &str) -> String {
 pub trait TraceSink: Send {
     /// Record one serialized JSONL line (no trailing newline).
     fn record_line(&mut self, line: &str);
+    /// Record one structured event. The default serializes into `scratch`
+    /// (a caller-owned buffer reused across events — no per-event
+    /// allocation) and forwards the line; sinks that can store the event
+    /// more compactly (e.g. [`FlightRecorder`]) override this and skip
+    /// serialization entirely.
+    fn record_event(&mut self, seq: u64, t_ps: u64, event: &TraceEvent, scratch: &mut String) {
+        scratch.clear();
+        event.write_json(scratch, seq, t_ps);
+        self.record_line(scratch);
+    }
     /// Flush any buffering to the backing store.
     fn flush(&mut self) {}
 }
@@ -476,11 +494,40 @@ impl TraceSink for JsonlWriter {
     }
 }
 
+/// One retained flight-recorder record: either an already-serialized line
+/// (from [`TraceSink::record_line`]) or a compact structured event that is
+/// serialized lazily at dump time — recording costs no JSON formatting and,
+/// for every variant but `Warn`, no allocation.
+#[derive(Debug)]
+enum FlightEntry {
+    Line(String),
+    Event(u64, u64, TraceEvent),
+}
+
+impl FlightEntry {
+    fn render(&self) -> String {
+        match self {
+            FlightEntry::Line(l) => l.clone(),
+            FlightEntry::Event(seq, t_ps, ev) => ev.to_json(*seq, *t_ps),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct FlightBuf {
-    lines: VecDeque<String>,
+    lines: VecDeque<FlightEntry>,
     capacity: usize,
     dropped: u64,
+}
+
+impl FlightBuf {
+    fn push(&mut self, entry: FlightEntry) {
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(entry);
+    }
 }
 
 /// A ring buffer holding the most recent trace lines ("flight recorder").
@@ -505,10 +552,11 @@ impl FlightRecorder {
         }
     }
 
-    /// Snapshot of the retained lines, oldest first.
+    /// Snapshot of the retained lines, oldest first. Structured entries are
+    /// serialized here, not at record time.
     pub fn dump(&self) -> Vec<String> {
         let buf = self.buf.lock().unwrap();
-        buf.lines.iter().cloned().collect()
+        buf.lines.iter().map(FlightEntry::render).collect()
     }
 
     /// Lines currently retained.
@@ -529,12 +577,17 @@ impl FlightRecorder {
 
 impl TraceSink for FlightRecorder {
     fn record_line(&mut self, line: &str) {
-        let mut buf = self.buf.lock().unwrap();
-        if buf.lines.len() == buf.capacity {
-            buf.lines.pop_front();
-            buf.dropped += 1;
-        }
-        buf.lines.push_back(line.to_string());
+        self.buf
+            .lock()
+            .unwrap()
+            .push(FlightEntry::Line(line.to_string()));
+    }
+
+    fn record_event(&mut self, seq: u64, t_ps: u64, event: &TraceEvent, _scratch: &mut String) {
+        self.buf
+            .lock()
+            .unwrap()
+            .push(FlightEntry::Event(seq, t_ps, event.clone()));
     }
 }
 
@@ -601,5 +654,54 @@ mod tests {
         }
         assert_eq!(reader.dump(), vec!["l2", "l3", "l4"]);
         assert_eq!(reader.dropped(), 2);
+    }
+
+    #[test]
+    fn write_json_reusing_scratch_matches_to_json() {
+        let events = [
+            TraceEvent::PktDequeue {
+                node: NodeKind::Host,
+                node_id: 4,
+                port: 0,
+                class: 2,
+                bytes: 4160,
+                backlog_bytes: 123,
+            },
+            TraceEvent::AdmitProb {
+                host: 1,
+                dst: 2,
+                qos: 0,
+                p: 0.75,
+                delta: -0.125,
+            },
+            TraceEvent::Warn {
+                component: "t".into(),
+                message: "a\"b".into(),
+            },
+        ];
+        let mut scratch = String::new();
+        for (i, ev) in events.iter().enumerate() {
+            let seq = i as u64 + 1;
+            scratch.clear();
+            ev.write_json(&mut scratch, seq, 99);
+            assert_eq!(scratch, ev.to_json(seq, 99));
+        }
+    }
+
+    #[test]
+    fn flight_recorder_lazy_events_render_like_lines() {
+        let mut fr = FlightRecorder::new(2);
+        let reader = fr.clone();
+        let ev = TraceEvent::FaultLinkUp {
+            node: NodeKind::Switch,
+            node_id: 1,
+            port: 3,
+        };
+        let mut scratch = String::new();
+        fr.record_event(5, 1000, &ev, &mut scratch);
+        // The compact path must not have touched the scratch buffer's
+        // contract (default impl uses it; the recorder stores structs).
+        fr.record_line("raw");
+        assert_eq!(reader.dump(), vec![ev.to_json(5, 1000), "raw".to_string()]);
     }
 }

@@ -110,6 +110,9 @@ pub struct Transport {
     next_pace_wake: SimTime,
     next_packet_id: u64,
     telemetry: Telemetry,
+    /// Interned handle for `transport.retransmits`; registered on first
+    /// retransmission so slot creation matches the old string-keyed path.
+    retransmits_id: Option<aequitas_telemetry::MetricId>,
 }
 
 impl Transport {
@@ -127,6 +130,7 @@ impl Transport {
             next_pace_wake: SimTime::MAX,
             next_packet_id: (host.0 as u64) << 40,
             telemetry: Telemetry::disabled(),
+            retransmits_id: None,
         }
     }
 
@@ -276,6 +280,9 @@ impl Transport {
                         now,
                         TraceEvent::Warn {
                             component: "transport".into(),
+                            // metric: terminal-failure diagnostics, not a
+                            // per-packet path — a message dies here at most
+                            // once, after exhausting its retry budget.
                             message: format!(
                                 "message {:#x} to host {} abandoned after {} retries",
                                 f.msg_id, f.flow.dst.0, self.config.max_retries
@@ -298,15 +305,16 @@ impl Transport {
                             seq,
                         },
                     );
+                    let host = self.host.0;
+                    let cached = &mut self.retransmits_id;
                     self.telemetry.with_metrics(|m| {
-                        m.counter_add(
-                            "transport.retransmits",
-                            aequitas_telemetry::labels(&[(
-                                "host",
-                                &self.host.0.to_string(),
-                            )]),
-                            1,
-                        );
+                        let id = *cached.get_or_insert_with(|| {
+                            m.counter_id(
+                                "transport.retransmits",
+                                aequitas_telemetry::labels(&[("host", &host.to_string())]),
+                            )
+                        });
+                        m.counter_add_id(id, 1);
                     });
                 }
             }

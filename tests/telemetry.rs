@@ -220,6 +220,37 @@ fn traced_run_emits_valid_monotone_jsonl_and_metrics() {
     }
 }
 
+/// The interned-handle fast path (MetricId tables in the engine, RPC stack,
+/// and transport; scratch-buffer trace serialization) must not perturb
+/// output: two identical traced runs produce byte-identical JSONL streams
+/// and metrics CSVs. Registration order, label strings, and sampling
+/// cadence all feed the exported bytes, so any divergence from the
+/// string-keyed semantics shows up here.
+#[test]
+fn traced_run_output_is_byte_identical_across_runs() {
+    let run_once = || {
+        let recorder = FlightRecorder::new(4_000_000);
+        let tel = Telemetry::with_sink(
+            recorder.clone(),
+            TelemetryConfig {
+                sample_every: SimDuration::from_us(100),
+            },
+        );
+        let mut setup = traced_setup(tel.clone());
+        setup.duration = SimDuration::from_ms(2);
+        run_macro(setup);
+        let mut csv = Vec::new();
+        tel.write_metrics_csv(&mut csv).unwrap();
+        (recorder.dump(), String::from_utf8(csv).unwrap())
+    };
+    let (trace_a, csv_a) = run_once();
+    let (trace_b, csv_b) = run_once();
+    assert!(trace_a.len() > 100, "only {} trace lines", trace_a.len());
+    assert_eq!(trace_a, trace_b, "trace streams diverged");
+    assert!(csv_a.lines().count() > 50, "thin CSV: {}", csv_a.len());
+    assert_eq!(csv_a, csv_b, "metrics CSVs diverged");
+}
+
 #[test]
 fn jsonl_writer_produces_a_readable_file() {
     let dir = std::env::temp_dir().join("aequitas-telemetry-test");
