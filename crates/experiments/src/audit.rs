@@ -1,0 +1,57 @@
+//! Opt-in end-of-run self-audit.
+//!
+//! When enabled (CLI `--audit` or `AEQUITAS_AUDIT=1`), the harness replays
+//! the trace a run just wrote through `aequitas-replay` and checks it
+//! against the paper's closed-form bounds (Eq. 1 / Eq. 8, admissible
+//! region, RNL SLOs). A FAIL verdict terminates the process with exit
+//! code 1 so scripted experiments cannot silently publish figures from a
+//! run that violated its own model.
+
+use aequitas_telemetry::Telemetry;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SELF_AUDIT: AtomicBool = AtomicBool::new(false);
+
+/// Turn the end-of-run self-audit on for this process (the CLI's
+/// `--audit` flag).
+pub fn enable_self_audit() {
+    SELF_AUDIT.store(true, Ordering::Relaxed);
+}
+
+/// Whether the self-audit is enabled, via [`enable_self_audit`] or the
+/// `AEQUITAS_AUDIT` environment variable (any value but `0`).
+pub fn self_audit_enabled() -> bool {
+    SELF_AUDIT.load(Ordering::Relaxed)
+        || std::env::var("AEQUITAS_AUDIT").is_ok_and(|v| v != "0")
+}
+
+/// Harness hook: replay + audit the trace behind `tel` if the self-audit
+/// is enabled. Prints the verdict report; exits 1 on a FAIL verdict.
+/// No-op when disabled, when tracing is off, or when the sink is not
+/// file-backed (nothing to replay).
+pub fn maybe_self_audit(tel: &Telemetry) {
+    if !self_audit_enabled() || !tel.is_enabled() {
+        return;
+    }
+    let Some(path) = tel.trace_path() else {
+        eprintln!("self-audit: trace sink is not file-backed (need --trace); skipping");
+        return;
+    };
+    match aequitas_replay::audit_file(&path, &aequitas_replay::AuditOptions::default()) {
+        Ok((mut recon, report)) => {
+            println!("--- self-audit: {} ---", path.display());
+            print!(
+                "{}",
+                aequitas_replay::report::report_text(&mut recon, &report)
+            );
+            if report.verdict == aequitas_replay::CheckStatus::Fail {
+                eprintln!("self-audit: FAIL — run violates its analytical bounds");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("self-audit: cannot audit {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //! loss, corruption, jitter, quota-server outages — see the "Fault model"
 //! section of README.md for the schema) and injects it into every engine
 //! the chosen experiment builds.
+//!
+//! `--audit` (requires `--trace`) replays the trace each traced run just
+//! wrote through `aequitas-replay` and checks it against the paper's
+//! analytical bounds; a FAIL verdict exits 1.
 
 use aequitas_experiments::harness::Scale;
 use aequitas_experiments::*;
@@ -194,7 +198,7 @@ fn entries() -> Vec<Entry> {
 fn usage() -> ! {
     eprintln!(
         "usage: aequitas-sim <list | run <name|all>> [--full] \
-         [--trace PATH] [--metrics PATH] [--sample-us N] [--faults PLAN.toml]"
+         [--trace PATH] [--metrics PATH] [--sample-us N] [--faults PLAN.toml] [--audit]"
     );
     eprintln!("       aequitas-sim run fig12");
     eprintln!("       aequitas-sim run fig11 --trace out.jsonl --metrics out-metrics.csv");
@@ -258,6 +262,7 @@ impl TelemetryOpts {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
+    let mut audit = false;
     let mut tel_opts = TelemetryOpts::default();
     let mut args: Vec<&str> = Vec::new();
     let mut it = raw.iter();
@@ -273,6 +278,7 @@ fn main() {
         };
         match a.as_str() {
             "--full" => full = true,
+            "--audit" => audit = true,
             "--trace" => tel_opts.trace = Some(value_of("--trace")),
             "--metrics" => tel_opts.metrics = Some(value_of("--metrics")),
             "--faults" => {
@@ -305,6 +311,13 @@ fn main() {
         }
     }
     let scale = if full { Scale::full() } else { Scale::detect() };
+    if audit {
+        if tel_opts.trace.is_none() {
+            eprintln!("--audit needs a --trace file to replay");
+            usage();
+        }
+        audit::enable_self_audit();
+    }
     let tel = tel_opts.install();
     let table = entries();
     match args.as_slice() {

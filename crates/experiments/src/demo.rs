@@ -34,6 +34,7 @@ pub fn trace_demo(scale: Scale) -> DemoResult {
     setup.engine = aequitas_netsim::EngineConfig::default_2qos();
     setup.mapping = QosMapping::two_level();
     setup.policy = PolicyChoice::Aequitas(AequitasConfig::two_qos(slo));
+    setup.name = "trace-demo";
     setup.duration = scale.pick(SimDuration::from_ms(3), SimDuration::from_ms(12));
     setup.warmup = scale.pick(SimDuration::from_ms(1), SimDuration::from_ms(4));
     setup.seed = 42;

@@ -5,7 +5,9 @@ use aequitas::AequitasConfig;
 use aequitas_netsim::{Engine, EngineConfig, HostId, LinkSpec, ShardSpec, ShardedEngine, Topology};
 use aequitas_rpc::{Policy, RpcCompletion, RpcStack, WorkloadHost, WorkloadSpec};
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
-use aequitas_telemetry::Telemetry;
+use aequitas_netsim::SchedulerKind;
+use aequitas_rpc::ArrivalProcess;
+use aequitas_telemetry::{Telemetry, TraceEvent};
 use aequitas_transport::TransportConfig;
 use aequitas_workloads::QosMapping;
 
@@ -55,6 +57,9 @@ pub enum PolicyChoice {
 
 /// Full description of a macro experiment run.
 pub struct MacroSetup {
+    /// Experiment name stamped into the trace's `run_info` event so replay
+    /// reports and cross-run comparisons can identify what produced a trace.
+    pub name: &'static str,
     /// The network.
     pub topo: Topology,
     /// Fabric configuration.
@@ -88,6 +93,7 @@ impl MacroSetup {
     /// A 100 Gbps star topology setup with 3-QoS WFQ 8:4:1 defaults.
     pub fn star_3qos(n: usize) -> MacroSetup {
         MacroSetup {
+            name: "macro",
             topo: Topology::star(n, LinkSpec::default_100g()),
             engine: EngineConfig::default_3qos(),
             transport: TransportConfig::default(),
@@ -149,6 +155,82 @@ impl MacroSetup {
             .collect()
     }
 
+    /// Describe this setup as a [`TraceEvent::RunInfo`] so a trace is
+    /// self-contained for offline audit (`aequitas-replay`). Aggregate
+    /// `mu`/`rho`/`period_ps` describe the *sum* of sender loads at the
+    /// shared bottleneck: burst-on-off loads add up; smooth (Poisson /
+    /// Uniform) loads contribute `load` to both and leave the period at 0
+    /// unless every sender bursts with one common period. Zero means
+    /// "unknown" — the replay auditor skips the delay-bound checks rather
+    /// than guessing.
+    fn run_info_event(&self) -> TraceEvent {
+        let weights = match &self.engine.switch_scheduler {
+            SchedulerKind::Wfq(w) => w.clone(),
+            SchedulerKind::Dwrr { weights, .. } => weights.clone(),
+            _ => Vec::new(),
+        };
+        let (slos_per_mtu_ps, slo_percentile) = match &self.policy {
+            PolicyChoice::Aequitas(cfg) | PolicyChoice::DropExcess(cfg) => (
+                cfg.slos
+                    .iter()
+                    .map(|s| s.as_ref().map_or(0, |t| t.latency_target_per_mtu.as_ps()))
+                    .collect(),
+                cfg.slos
+                    .iter()
+                    .flatten()
+                    .map(|t| t.target_percentile)
+                    .next()
+                    .unwrap_or(0.0),
+            ),
+            PolicyChoice::Static => (Vec::new(), 0.0),
+        };
+        let mut senders = 0u32;
+        let mut mu = 0.0;
+        let mut rho = 0.0;
+        let mut period_ps = 0u64;
+        let mut all_burst_same_period = true;
+        for spec in self.workloads.iter().flatten() {
+            senders += 1;
+            match spec.arrival {
+                ArrivalProcess::BurstOnOff {
+                    mu: m,
+                    rho: r,
+                    period,
+                } => {
+                    mu += m;
+                    rho += r;
+                    if period_ps == 0 || period_ps == period.as_ps() {
+                        period_ps = period.as_ps();
+                    } else {
+                        all_burst_same_period = false;
+                    }
+                }
+                ArrivalProcess::Poisson { load } | ArrivalProcess::Uniform { load } => {
+                    mu += load;
+                    rho += load;
+                    all_burst_same_period = false;
+                }
+            }
+        }
+        if !all_burst_same_period {
+            period_ps = 0;
+        }
+        TraceEvent::RunInfo {
+            experiment: self.name.to_string(),
+            hosts: self.topo.num_hosts() as u32,
+            classes: self.engine.classes as u32,
+            weights,
+            slos_per_mtu_ps,
+            slo_percentile,
+            warmup_ps: self.warmup.as_ps(),
+            duration_ps: self.duration.as_ps(),
+            senders,
+            mu,
+            rho,
+            period_ps,
+        }
+    }
+
     fn build(mut self) -> (Engine<WorkloadHost>, SimDuration, SimDuration) {
         // A CLI-installed fault plan (--faults) applies to every run that
         // does not carry a scenario-specific plan of its own.
@@ -160,6 +242,9 @@ impl MacroSetup {
         } else {
             aequitas_telemetry::global()
         };
+        if telemetry.is_enabled() {
+            telemetry.emit(SimTime::ZERO, self.run_info_event());
+        }
         let agents = self.build_agents(&telemetry);
         let mut engine = Engine::new(self.topo, agents, self.engine);
         if telemetry.is_enabled() {
@@ -265,6 +350,9 @@ where
         // lines to the backing store.
         sample_telemetry(&engine, &tel, end);
         tel.flush();
+        // Opt-in self-audit (--audit / AEQUITAS_AUDIT=1): replay the trace
+        // we just wrote and check it against the paper's bounds.
+        crate::audit::maybe_self_audit(&tel);
     }
 
     let warmup_t = SimTime::ZERO + warmup;

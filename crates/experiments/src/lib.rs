@@ -22,6 +22,7 @@
 //! | [`production`] | Figs. 3, 4, 5, 24 (overload episode, fleet alignment) |
 //! | [`chaos`] | Fault injection: link flaps, loss, quota-server outages |
 
+pub mod audit;
 pub mod chaos;
 pub mod demo;
 pub mod ext;

@@ -17,6 +17,7 @@ use aequitas_netsim::{
     QueueKind, SchedulerKind, Topology,
 };
 use aequitas_sim_core::{SimDuration, SimTime};
+use aequitas_telemetry::{Telemetry, TraceEvent};
 
 /// One point of a theory curve.
 #[derive(Debug, Clone, Copy)]
@@ -298,8 +299,16 @@ pub struct Fig10Result {
     pub max_err: [f64; 2],
 }
 
-/// Run the Fig. 10 validation.
-pub fn fig10(scale: Scale) -> Fig10Result {
+/// Run one Fig. 10 validation point at QoSh-share `x`, optionally traced.
+///
+/// An enabled `telemetry` handle is wired through the engine and stamped
+/// with a `run_info` event describing the setup (aggregate μ=0.8, ρ=1.2,
+/// 100 µs period, WFQ 4:1), which makes the trace self-contained for
+/// `aequitas-replay audit` — the delay-bound checks resolve their
+/// parameters from the trace alone. The replay round-trip tests run this
+/// exact scenario and compare the replayed worst-case queuing delays
+/// against `ValidationPoint::sim`.
+pub fn fig10_point(x: f64, scale: Scale, telemetry: &Telemetry) -> ValidationPoint {
     let params = TwoQosParams::fig8();
     let period = SimDuration::from_us(100);
     let periods = scale.pick(20u64, 100u64);
@@ -307,47 +316,73 @@ pub fn fig10(scale: Scale) -> Fig10Result {
     let n_senders = 2;
     let per_sender = params.rho / n_senders as f64;
 
+    let topo = Topology::star(n_senders + 1, LinkSpec::default_100g());
+    let config = EngineConfig {
+        switch_scheduler: SchedulerKind::Wfq(vec![params.phi, 1.0]),
+        host_scheduler: SchedulerKind::Fifo(2),
+        switch_buffer_bytes: None, // paper: "buffer size set to a large value"
+        host_buffer_bytes: None,
+        classes: 2,
+        loss_probability: 0.0,
+        loss_seed: 0,
+        event_queue: QueueKind::Calendar,
+        faults: None,
+    };
+    let mut agents: Vec<BurstBlaster> = (0..n_senders)
+        .map(|_| {
+            BurstBlaster::sender(
+                HostId(n_senders),
+                vec![x, 1.0 - x],
+                per_sender,
+                params.mu / params.rho,
+                period,
+                horizon,
+            )
+        })
+        .collect();
+    agents.push(BurstBlaster::receiver(2));
+    let mut eng = Engine::new(topo, agents, config);
+    if telemetry.is_enabled() {
+        telemetry.emit(
+            SimTime::ZERO,
+            TraceEvent::RunInfo {
+                experiment: "fig10".to_string(),
+                hosts: (n_senders + 1) as u32,
+                classes: 2,
+                weights: vec![params.phi, 1.0],
+                slos_per_mtu_ps: Vec::new(),
+                slo_percentile: 0.0,
+                warmup_ps: 0,
+                duration_ps: horizon.as_ps(),
+                senders: n_senders as u32,
+                mu: params.mu,
+                rho: params.rho,
+                period_ps: period.as_ps(),
+            },
+        );
+        eng.set_telemetry(telemetry.clone());
+    }
+    eng.run_until(horizon + SimDuration::from_ms(1));
+    let rx = &eng.agents()[n_senders];
+    let norm = period.as_ps() as f64;
+    let sim = [
+        rx.max_delay_ps[0] as f64 / norm,
+        rx.max_delay_ps[1] as f64 / norm,
+    ];
+    ValidationPoint {
+        x,
+        sim,
+        theory: [delay_h(params, x), delay_l(params, x)],
+    }
+}
+
+/// Run the Fig. 10 validation.
+pub fn fig10(scale: Scale) -> Fig10Result {
+    let telemetry = aequitas_telemetry::global();
     let mut points = Vec::new();
     for i in (5..=95).step_by(5) {
         let x = i as f64 / 100.0;
-        let topo = Topology::star(n_senders + 1, LinkSpec::default_100g());
-        let config = EngineConfig {
-            switch_scheduler: SchedulerKind::Wfq(vec![params.phi, 1.0]),
-            host_scheduler: SchedulerKind::Fifo(2),
-            switch_buffer_bytes: None, // paper: "buffer size set to a large value"
-            host_buffer_bytes: None,
-            classes: 2,
-            loss_probability: 0.0,
-            loss_seed: 0,
-            event_queue: QueueKind::Calendar,
-            faults: None,
-        };
-        let mut agents: Vec<BurstBlaster> = (0..n_senders)
-            .map(|_| {
-                BurstBlaster::sender(
-                    HostId(n_senders),
-                    vec![x, 1.0 - x],
-                    per_sender,
-                    params.mu / params.rho,
-                    period,
-                    horizon,
-                )
-            })
-            .collect();
-        agents.push(BurstBlaster::receiver(2));
-        let mut eng = Engine::new(topo, agents, config);
-        eng.run_until(horizon + SimDuration::from_ms(1));
-        let rx = &eng.agents()[n_senders];
-        let norm = period.as_ps() as f64;
-        let sim = [
-            rx.max_delay_ps[0] as f64 / norm,
-            rx.max_delay_ps[1] as f64 / norm,
-        ];
-        points.push(ValidationPoint {
-            x,
-            sim,
-            theory: [delay_h(params, x), delay_l(params, x)],
-        });
+        points.push(fig10_point(x, scale, &telemetry));
     }
     let mut max_err = [0.0f64; 2];
     for p in &points {

@@ -104,6 +104,11 @@ pub const RULES: &[RuleInfo] = &[
         name: "string-keyed-telemetry",
         desc: "string-keyed metric calls, format!/String::new label building, or per-event to_json in hot-path modules; intern a MetricId / reuse a scratch buffer, or justify with a `metric:` comment",
     },
+    RuleInfo {
+        id: "AQ013",
+        name: "trace-schema-drift",
+        desc: "TraceEvent variants/fields changed without updating TRACE_SCHEMA_FINGERPRINT (and bumping TRACE_SCHEMA_VERSION); replay tools key on the version",
+    },
 ];
 
 /// Hot-path crates for AQ006.
@@ -367,6 +372,9 @@ pub fn check_file(cfg: &Config, rel: &str, toks: &[Tok], out: &mut Vec<Finding>)
     }
     if enabled("AQ012") {
         aq012_string_keyed_telemetry(&ctx, out);
+    }
+    if enabled("AQ013") {
+        aq013_trace_schema_drift(&ctx, out);
     }
 }
 
@@ -800,6 +808,152 @@ fn aq012_string_keyed_telemetry(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// The file AQ013 guards: the wire-format definition of the trace.
+const TRACE_SCHEMA_FILE: &str = "crates/telemetry/src/trace.rs";
+
+/// FNV-1a-64 over the schema-relevant shape of `TraceEvent`.
+fn fnv1a64(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// AQ013: the trace schema (the `TraceEvent` enum in
+/// `crates/telemetry/src/trace.rs`) is a wire format — external replay
+/// tooling keys on `TRACE_SCHEMA_VERSION`. This rule fingerprints the
+/// enum's variant and field names and compares it with the declared
+/// `TRACE_SCHEMA_FINGERPRINT` constant; adding/renaming/removing a
+/// variant or field without touching the constant (and, per its docs,
+/// bumping `TRACE_SCHEMA_VERSION`) is flagged with the new fingerprint to
+/// paste. A field whose line (or the comment block above it) carries a
+/// `schema:` justification is excluded from the fingerprint — the escape
+/// hatch for additions that provably do not change the serialized form.
+fn aq013_trace_schema_drift(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel != TRACE_SCHEMA_FILE {
+        return;
+    }
+    let n = ctx.code.len();
+    // Locate `pub enum TraceEvent {`.
+    let mut start = None;
+    for i in 0..n.saturating_sub(3) {
+        if ctx.c(i).text == "pub"
+            && ctx.c(i + 1).text == "enum"
+            && ctx.c(i + 2).text == "TraceEvent"
+            && ctx.c(i + 3).text == "{"
+        {
+            start = Some(i + 3);
+            break;
+        }
+    }
+    let Some(open) = start else {
+        finding(
+            out,
+            "AQ013",
+            ctx,
+            ctx.c(0),
+            "cannot find `pub enum TraceEvent` to fingerprint; \
+             if the enum moved, update the AQ013 rule"
+                .to_string(),
+        );
+        return;
+    };
+    // Walk the enum body, hashing variant names (brace depth 1) and
+    // struct-variant field names (depth 2, `ident :` after `{` or `,`).
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut prev_text: Option<&str> = None;
+    while i < n {
+        let t = ctx.c(i);
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            _ => {
+                if t.kind == TokKind::Ident && !ctx.justified(t.line, "schema:") {
+                    // `]` covers a variant directly after a `#[...]` attribute.
+                    let is_variant =
+                        depth == 1 && matches!(prev_text, Some("{" | "," | "}" | ")" | "]"));
+                    let is_field = depth == 2
+                        && matches!(prev_text, Some("{" | ","))
+                        && i + 1 < n
+                        && ctx.c(i + 1).text == ":";
+                    if is_variant {
+                        hash = fnv1a64(hash, t.text.as_bytes());
+                        hash = fnv1a64(hash, b"|");
+                    } else if is_field {
+                        hash = fnv1a64(hash, b".");
+                        hash = fnv1a64(hash, t.text.as_bytes());
+                    }
+                }
+            }
+        }
+        prev_text = Some(&t.text);
+        i += 1;
+    }
+    // Locate the declared constant: `TRACE_SCHEMA_FINGERPRINT ... = <int>`.
+    let mut declared = None;
+    for i in 0..n {
+        if ctx.c(i).text == "TRACE_SCHEMA_FINGERPRINT" {
+            for j in i + 1..n.min(i + 8) {
+                if ctx.c(j).kind == TokKind::Int {
+                    let lit = ctx
+                        .c(j)
+                        .text
+                        .trim_end_matches("u64")
+                        .replace('_', "");
+                    declared = Some((
+                        j,
+                        if let Some(hex) = lit.strip_prefix("0x") {
+                            u64::from_str_radix(hex, 16).ok()
+                        } else {
+                            lit.parse::<u64>().ok()
+                        },
+                    ));
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    let Some((at, Some(value))) = declared else {
+        finding(
+            out,
+            "AQ013",
+            ctx,
+            ctx.c(open),
+            format!(
+                "cannot find an integer `TRACE_SCHEMA_FINGERPRINT` constant; declare it as \
+                 0x{hash:016x}"
+            ),
+        );
+        return;
+    };
+    if value != hash {
+        finding(
+            out,
+            "AQ013",
+            ctx,
+            ctx.c(at),
+            format!(
+                "trace event schema drifted: TraceEvent fingerprint is 0x{hash:016x} but \
+                 TRACE_SCHEMA_FINGERPRINT declares 0x{value:016x}; bump TRACE_SCHEMA_VERSION, \
+                 set the fingerprint to 0x{hash:016x}, and teach crates/replay the new \
+                 version (or mark a non-serialized field with a `schema:` comment)"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1064,6 +1218,49 @@ fn f() {
             "#[cfg(test)]\nmod t { fn f() { m.counter_add(\"x\", l, 1); } }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn aq013_trace_schema_drift() {
+        // A matching fingerprint is clean. (Value computed by hand below:
+        // the rule hashes "A|.x" then "B|".)
+        let body = "pub enum TraceEvent { A { x: u64 }, B }";
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in b"A|.xB|" {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let ok = format!("{body}\npub const TRACE_SCHEMA_FINGERPRINT: u64 = 0x{h:016x};");
+        assert!(run(TRACE_SCHEMA_FILE, &ok).is_empty(), "{h:#x}");
+
+        // Adding a field without touching the constant fires, and the
+        // message carries the new fingerprint to paste.
+        let drift = format!(
+            "pub enum TraceEvent {{ A {{ x: u64, y: u64 }}, B }}\n\
+             pub const TRACE_SCHEMA_FINGERPRINT: u64 = 0x{h:016x};"
+        );
+        let f = run(TRACE_SCHEMA_FILE, &drift);
+        assert_eq!(rules_of(&f), vec!["AQ013"]);
+        assert!(f[0].message.contains("bump TRACE_SCHEMA_VERSION"), "{}", f[0].message);
+
+        // ...unless the new field carries a `schema:` justification.
+        let justified = format!(
+            "pub enum TraceEvent {{ A {{ x: u64,\n\
+             // schema: in-memory only, never serialized\n\
+             y: u64\n\
+             }}, B }}\n\
+             pub const TRACE_SCHEMA_FINGERPRINT: u64 = 0x{h:016x};"
+        );
+        assert!(run(TRACE_SCHEMA_FILE, &justified).is_empty());
+
+        // The rule only guards the schema file.
+        let elsewhere = "pub enum TraceEvent { A { x: u64, y: u64 }, B }";
+        assert!(run("crates/replay/src/trace.rs", elsewhere).is_empty());
+
+        // A missing constant is itself a finding.
+        let f = run(TRACE_SCHEMA_FILE, body);
+        assert_eq!(rules_of(&f), vec!["AQ013"]);
+        assert!(f[0].message.contains("cannot find"), "{}", f[0].message);
     }
 
     #[test]

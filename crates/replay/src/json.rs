@@ -1,0 +1,262 @@
+//! A minimal JSON parser for the shapes the telemetry pipeline emits: one
+//! flat object per line whose values are strings, numbers, booleans, or
+//! arrays of numbers. The workspace is deliberately dependency-free (no
+//! serde), and the trace writer's output is restricted enough that this
+//! ~150-line recursive-descent parser covers it exactly — anything outside
+//! that envelope is a malformed line and reported as such.
+
+/// A parsed JSON value. Only the subset the trace writer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers above 2^53 are not emitted by the tracer).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as f64, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    /// The value as a non-negative integer, when numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // Integral iff the round-trip through u64 is exact.
+            JsonValue::Num(n) if *n >= 0.0 && (*n as u64) as f64 == *n => Some(*n as u64),
+            _ => None,
+        }
+    }
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump().ok_or_else(|| self.err("bad escape"))? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("bad \\u"))?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad \\u digit"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("unknown escape")),
+                },
+                c if c < 0x20 => return Err(self.err("raw control char in string")),
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble a UTF-8 multibyte sequence.
+                    let start = self.i - 1;
+                    let len = if c >= 0xf0 {
+                        4
+                    } else if c >= 0xe0 {
+                        3
+                    } else {
+                        2
+                    };
+                    if start + len > self.b.len() {
+                        return Err(self.err("truncated UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.b[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Arr(items)),
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b't' | b'f' | b'n' => {
+                for (lit, v) in [
+                    ("true", JsonValue::Bool(true)),
+                    ("false", JsonValue::Bool(false)),
+                    ("null", JsonValue::Null),
+                ] {
+                    if self.b[self.i..].starts_with(lit.as_bytes()) {
+                        self.i += lit.len();
+                        return Ok(v);
+                    }
+                }
+                Err(self.err("bad literal"))
+            }
+            _ => Ok(JsonValue::Num(self.number()?)),
+        }
+    }
+}
+
+/// Parse one `{"key":value,...}` line into its fields, in order. The trace
+/// writer emits no whitespace, and this parser accepts none — a stricter
+/// contract that doubles as a format check.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let value = p.value()?;
+            fields.push((key, value));
+            match p.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+    }
+    if p.i != p.b.len() {
+        return Err(p.err("trailing data after object"));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_trace_shapes() {
+        let f = parse_object(
+            "{\"seq\":0,\"t_ps\":0,\"type\":\"trace_header\",\"format\":\"aequitas-trace\",\"schema_version\":2}",
+        )
+        .unwrap();
+        assert_eq!(f[0].0, "seq");
+        assert_eq!(f[2].1.as_str(), Some("trace_header"));
+        assert_eq!(f[4].1.as_u64(), Some(2));
+
+        let f = parse_object("{\"w\":[4,1],\"p\":0.75,\"down\":true,\"x\":null}").unwrap();
+        assert_eq!(
+            f[0].1,
+            JsonValue::Arr(vec![JsonValue::Num(4.0), JsonValue::Num(1.0)])
+        );
+        assert_eq!(f[1].1.as_f64(), Some(0.75));
+        assert_eq!(f[2].1.as_bool(), Some(true));
+        assert_eq!(f[3].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let f = parse_object("{\"m\":\"a\\n\\\"b\\\"\\\\\"}").unwrap();
+        assert_eq!(f[0].1.as_str(), Some("a\n\"b\"\\"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1",
+            "{\"a\":1}x",
+            "not json",
+            "{\"a\":--}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

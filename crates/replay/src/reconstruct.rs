@@ -1,0 +1,676 @@
+//! Full-fabric state reconstruction from a telemetry JSONL trace.
+//!
+//! The simulator's trace stream is rich enough to rebuild, offline, the
+//! state the engine never keeps: per-port backlog timelines, per-packet
+//! queuing delays (by FIFO-matching the i-th enqueue with the i-th dequeue
+//! of each `(port, class)` — valid because tail drops are rejected *at*
+//! enqueue and fault drops destroy packets *after* dequeue, and WFQ serves
+//! each class FIFO), per-(src,dst,QoS) RNL distributions, admit-probability
+//! trajectories, and fault windows. Everything downstream (the bound
+//! auditor, compare mode) works off this one pass.
+//!
+//! Reconstruction is resilient rather than strict: malformed lines, gaps,
+//! and inconsistencies are *counted* (and surfaced by the `trace_integrity`
+//! audit check) instead of aborting, so a corrupted trace yields a FAIL
+//! verdict with diagnostics rather than a parse error. The one hard error
+//! is the schema contract: a missing or unsupported `trace_header`.
+
+use crate::trace::{check_header, parse_line, RawEvent};
+use aequitas_stats::Percentiles;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufRead;
+
+/// Experiment parameters recovered from a `run_info` event.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// Experiment name.
+    pub experiment: String,
+    /// Hosts in the topology.
+    pub hosts: u64,
+    /// QoS classes.
+    pub classes: u64,
+    /// WFQ weights, highest QoS first (empty when unknown).
+    pub weights: Vec<f64>,
+    /// Per-class RNL-per-MTU SLOs in ps (0 = none).
+    pub slos_per_mtu_ps: Vec<u64>,
+    /// Percentile the SLOs are evaluated at.
+    pub slo_percentile: f64,
+    /// Warmup cutoff in ps.
+    pub warmup_ps: u64,
+    /// Scheduled duration in ps.
+    pub duration_ps: u64,
+    /// Active traffic sources.
+    pub senders: u64,
+    /// Aggregate mean offered load μ (0 = unknown).
+    pub mu: f64,
+    /// Aggregate burst rate ρ (0 = unknown).
+    pub rho: f64,
+    /// Burst period in ps (0 = not burst/on-off).
+    pub period_ps: u64,
+}
+
+impl RunInfo {
+    fn from_event(ev: &RawEvent) -> RunInfo {
+        RunInfo {
+            experiment: ev.str("experiment").unwrap_or("?").to_string(),
+            hosts: ev.u64("hosts").unwrap_or(0),
+            classes: ev.u64("classes").unwrap_or(0),
+            weights: ev.arr_f64("weights").unwrap_or_default(),
+            slos_per_mtu_ps: ev.arr_u64("slos_per_mtu_ps").unwrap_or_default(),
+            slo_percentile: ev.num("slo_percentile").unwrap_or(0.0),
+            warmup_ps: ev.u64("warmup_ps").unwrap_or(0),
+            duration_ps: ev.u64("duration_ps").unwrap_or(0),
+            senders: ev.u64("senders").unwrap_or(0),
+            mu: ev.num("mu").unwrap_or(0.0),
+            rho: ev.num("rho").unwrap_or(0.0),
+            period_ps: ev.u64("period_ps").unwrap_or(0),
+        }
+    }
+}
+
+/// Identifies one egress port: `node` is the serialized node label
+/// (`host3`, `switch0`), `port` the egress port index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PortKey {
+    /// Node label as serialized in the trace.
+    pub node: String,
+    /// Egress port index.
+    pub port: u64,
+}
+
+impl std::fmt::Display for PortKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/port{}", self.node, self.port)
+    }
+}
+
+/// Per-class queue statistics at one port.
+#[derive(Debug, Default)]
+pub struct ClassTimeline {
+    /// Queuing delay (enqueue→dequeue) distribution, in ps.
+    pub delay_ps: Percentiles,
+    /// Worst queuing delay, in ps.
+    pub max_delay_ps: u64,
+    /// Bytes accepted into the queue.
+    pub enq_bytes: u64,
+    /// Deepest per-class occupancy seen, in packets.
+    pub max_depth_pkts: u64,
+    /// Pending enqueues not yet matched to a dequeue (FIFO).
+    pending: VecDeque<(u64, u64)>,
+}
+
+/// Reconstructed state of one egress port.
+#[derive(Debug, Default)]
+pub struct PortTimeline {
+    /// Backlog after each packet event: `(t_ps, backlog_bytes)`. Multiple
+    /// entries may share a timestamp; the last one wins.
+    pub backlog: Vec<(u64, u64)>,
+    /// Peak backlog.
+    pub max_backlog_bytes: u64,
+    /// Enqueued packets.
+    pub enq_pkts: u64,
+    /// Dequeued packets.
+    pub deq_pkts: u64,
+    /// Tail-dropped packets.
+    pub drop_pkts: u64,
+    /// Packets destroyed in transit by fault injection.
+    pub fault_drop_pkts: u64,
+    /// Per-class statistics.
+    pub classes: BTreeMap<u64, ClassTimeline>,
+    /// Events whose `backlog_bytes` field disagreed with the recomputed
+    /// running backlog (0 on a healthy single-run trace).
+    pub backlog_mismatches: u64,
+    /// Dequeues with no matching pending enqueue.
+    pub unmatched_dequeues: u64,
+    backlog_now: u64,
+}
+
+impl PortTimeline {
+    /// Backlog in bytes at simulated time `t_ps` (last event at or before
+    /// `t_ps`; 0 before the first event).
+    pub fn backlog_at(&self, t_ps: u64) -> u64 {
+        match self.backlog.partition_point(|&(t, _)| t <= t_ps) {
+            0 => 0,
+            n => self.backlog[n - 1].1,
+        }
+    }
+}
+
+/// Per-(src,dst,QoS) RPC statistics — the trace's `qos_run` (the class the
+/// RPC actually ran on after any admission downgrade).
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    /// RPCs issued on this channel.
+    pub issued: u64,
+    /// Bytes issued.
+    pub issued_bytes: u64,
+    /// Issues that were admission downgrades into this class.
+    pub downgraded_in: u64,
+    /// Completions observed.
+    pub completed: u64,
+    /// Post-warmup RNL-per-MTU distribution, in ps.
+    pub rnl_per_mtu_ps: Percentiles,
+    /// Post-warmup absolute RNL distribution, in ps.
+    pub rnl_ps: Percentiles,
+}
+
+/// Admit-probability trajectory of one (host, dst, qos) channel.
+#[derive(Debug, Default)]
+pub struct AdmitTimeline {
+    /// `(t_ps, p)` after each Algorithm 1 step.
+    pub points: Vec<(u64, f64)>,
+    /// Smallest p seen.
+    pub min_p: f64,
+    /// Largest p seen.
+    pub max_p: f64,
+}
+
+/// Fault windows recovered from fault-injection events.
+#[derive(Debug, Default)]
+pub struct FaultSummary {
+    /// Link-down windows per port: `(down_t_ps, up_t_ps)`; `None` end means
+    /// the link never came back before the trace ended.
+    pub link_windows: BTreeMap<PortKey, Vec<(u64, Option<u64>)>>,
+    /// Quota-server outage windows per host.
+    pub quota_windows: BTreeMap<u64, Vec<(u64, Option<u64>)>>,
+    /// Packets destroyed in transit.
+    pub pkt_drops: u64,
+    /// Of those, frames corrupted rather than cleanly lost.
+    pub corrupt_drops: u64,
+}
+
+/// Stream-health counters; feeds the `trace_integrity` audit check.
+#[derive(Debug, Default)]
+pub struct Integrity {
+    /// Lines that failed to parse.
+    pub parse_errors: u64,
+    /// First few parse-error messages, with line numbers.
+    pub parse_error_samples: Vec<String>,
+    /// Sequence-number discontinuities.
+    pub seq_gaps: u64,
+    /// Timestamp regressions (each starts a new epoch — expected when a
+    /// sweep reuses one telemetry handle across points, otherwise a red
+    /// flag).
+    pub time_regressions: u64,
+    /// Enqueues left unmatched when an epoch boundary reset the queues.
+    pub epoch_orphans: u64,
+    /// Extra `trace_header` lines after the first (concatenated streams).
+    pub extra_headers: u64,
+    /// Events carrying a `type` this build does not know.
+    pub unknown_kinds: u64,
+}
+
+/// Everything reconstructed from one trace stream.
+#[derive(Debug, Default)]
+pub struct Reconstruction {
+    /// Schema version declared by the header.
+    pub schema_version: u32,
+    /// First `run_info` event, when present.
+    pub run_info: Option<RunInfo>,
+    /// Total lines consumed (including the header).
+    pub events: u64,
+    /// Event count per `type` tag.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// Number of epochs (1 + timestamp regressions): a single-run trace has
+    /// exactly one.
+    pub epochs: u64,
+    /// Per-port reconstructed queues.
+    pub ports: BTreeMap<PortKey, PortTimeline>,
+    /// Per-(src,dst,qos_run) RPC statistics.
+    pub channels: BTreeMap<(u64, u64, u64), ChannelStats>,
+    /// Aggregate per-QoS RPC statistics (merged over channels).
+    pub qos: BTreeMap<u64, ChannelStats>,
+    /// Admit-probability trajectories per (host, dst, qos).
+    pub admit: BTreeMap<(u64, u64, u64), AdmitTimeline>,
+    /// Fault windows and counters.
+    pub faults: FaultSummary,
+    /// Stream-health counters.
+    pub integrity: Integrity,
+    /// Warn events: count and first few messages.
+    pub warn_count: u64,
+    /// First few warn messages.
+    pub warn_samples: Vec<String>,
+    /// Largest timestamp seen.
+    pub last_t_ps: u64,
+}
+
+impl Reconstruction {
+    /// Reconstruct from a JSONL stream. The first line must be a valid
+    /// `trace_header` with a supported version; everything after that is
+    /// processed tolerantly with problems counted in [`Integrity`].
+    pub fn from_reader(r: impl BufRead) -> Result<Reconstruction, String> {
+        let mut recon = Reconstruction {
+            epochs: 1,
+            ..Reconstruction::default()
+        };
+        let mut expected_seq: Option<u64> = None;
+        let mut last_t: u64 = 0;
+        let mut saw_header = false;
+        for (idx, line) in r.lines().enumerate() {
+            let line = line.map_err(|e| format!("I/O error reading trace: {e}"))?;
+            if line.is_empty() {
+                continue;
+            }
+            let ev = match parse_line(&line) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    if !saw_header {
+                        return Err(format!("line 1: {e}"));
+                    }
+                    recon.integrity.parse_errors += 1;
+                    if recon.integrity.parse_error_samples.len() < 5 {
+                        recon
+                            .integrity
+                            .parse_error_samples
+                            .push(format!("line {}: {e}", idx + 1));
+                    }
+                    continue;
+                }
+            };
+            if !saw_header {
+                recon.schema_version = check_header(&ev)?;
+                saw_header = true;
+            } else if ev.kind == "trace_header" {
+                recon.integrity.extra_headers += 1;
+            }
+            recon.events += 1;
+            *recon.kind_counts.entry(ev.kind.clone()).or_insert(0) += 1;
+            if let Some(exp) = expected_seq {
+                if ev.seq != exp {
+                    recon.integrity.seq_gaps += 1;
+                }
+            }
+            expected_seq = Some(ev.seq + 1);
+            if ev.t_ps < last_t {
+                // A new epoch: sweep harnesses reuse one telemetry handle
+                // across points, so simulated time restarts. Reset queue
+                // state; distributions keep accumulating.
+                recon.integrity.time_regressions += 1;
+                recon.epochs += 1;
+                for port in recon.ports.values_mut() {
+                    for class in port.classes.values_mut() {
+                        recon.integrity.epoch_orphans += class.pending.len() as u64;
+                        class.pending.clear();
+                    }
+                    port.backlog_now = 0;
+                }
+            }
+            last_t = ev.t_ps;
+            recon.last_t_ps = recon.last_t_ps.max(ev.t_ps);
+            recon.apply(&ev);
+        }
+        if !saw_header {
+            return Err("empty trace: no trace_header line".into());
+        }
+        Ok(recon)
+    }
+
+    /// Reconstruct from a trace file on disk.
+    pub fn from_file(path: &std::path::Path) -> Result<Reconstruction, String> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| format!("cannot open trace {}: {e}", path.display()))?;
+        Reconstruction::from_reader(std::io::BufReader::new(f))
+    }
+
+    fn port_key(ev: &RawEvent) -> Option<PortKey> {
+        Some(PortKey {
+            node: ev.str("node")?.to_string(),
+            port: ev.u64("port")?,
+        })
+    }
+
+    fn apply(&mut self, ev: &RawEvent) {
+        match ev.kind.as_str() {
+            "trace_header" => {}
+            "run_info" => {
+                if self.run_info.is_none() {
+                    self.run_info = Some(RunInfo::from_event(ev));
+                }
+            }
+            "pkt_enqueue" => {
+                let (Some(key), Some(class), Some(bytes), Some(backlog)) = (
+                    Self::port_key(ev),
+                    ev.u64("class"),
+                    ev.u64("bytes"),
+                    ev.u64("backlog_bytes"),
+                ) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                let port = self.ports.entry(key).or_default();
+                port.enq_pkts += 1;
+                let ct = port.classes.entry(class).or_default();
+                ct.enq_bytes += bytes;
+                ct.pending.push_back((ev.t_ps, bytes));
+                if let Some(depth) = ev.u64("depth_pkts") {
+                    ct.max_depth_pkts = ct.max_depth_pkts.max(depth);
+                }
+                port.backlog_now += bytes;
+                if port.backlog_now != backlog {
+                    port.backlog_mismatches += 1;
+                    port.backlog_now = backlog;
+                }
+                port.max_backlog_bytes = port.max_backlog_bytes.max(backlog);
+                port.backlog.push((ev.t_ps, backlog));
+            }
+            "pkt_dequeue" => {
+                let (Some(key), Some(class), Some(bytes), Some(backlog)) = (
+                    Self::port_key(ev),
+                    ev.u64("class"),
+                    ev.u64("bytes"),
+                    ev.u64("backlog_bytes"),
+                ) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                let port = self.ports.entry(key).or_default();
+                port.deq_pkts += 1;
+                let ct = port.classes.entry(class).or_default();
+                match ct.pending.pop_front() {
+                    Some((enq_t, _)) => {
+                        let delay = ev.t_ps.saturating_sub(enq_t);
+                        ct.delay_ps.record(delay as f64);
+                        ct.max_delay_ps = ct.max_delay_ps.max(delay);
+                    }
+                    None => port.unmatched_dequeues += 1,
+                }
+                port.backlog_now = port.backlog_now.saturating_sub(bytes);
+                if port.backlog_now != backlog {
+                    port.backlog_mismatches += 1;
+                    port.backlog_now = backlog;
+                }
+                port.backlog.push((ev.t_ps, backlog));
+            }
+            "pkt_drop" => {
+                let Some(key) = Self::port_key(ev) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                // Tail drop: rejected at enqueue, never entered the queue,
+                // so the running backlog is unchanged.
+                let port = self.ports.entry(key).or_default();
+                port.drop_pkts += 1;
+                if let Some(backlog) = ev.u64("backlog_bytes") {
+                    if port.backlog_now != backlog {
+                        port.backlog_mismatches += 1;
+                        port.backlog_now = backlog;
+                    }
+                }
+            }
+            "fault_pkt_drop" => {
+                // Destroyed in transit, i.e. after its dequeue event — the
+                // queue accounting is already settled.
+                if let Some(key) = Self::port_key(ev) {
+                    self.ports.entry(key).or_default().fault_drop_pkts += 1;
+                }
+                self.faults.pkt_drops += 1;
+                if ev.bool("corrupt") == Some(true) {
+                    self.faults.corrupt_drops += 1;
+                }
+            }
+            "rpc_issue" => {
+                let (Some(host), Some(dst), Some(qos), Some(bytes)) = (
+                    ev.u64("host"),
+                    ev.u64("dst"),
+                    ev.u64("qos_run"),
+                    ev.u64("size_bytes"),
+                ) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                let downgraded = ev.bool("downgraded") == Some(true);
+                for stats in [
+                    self.channels.entry((host, dst, qos)).or_default(),
+                    self.qos.entry(qos).or_default(),
+                ] {
+                    stats.issued += 1;
+                    stats.issued_bytes += bytes;
+                    if downgraded {
+                        stats.downgraded_in += 1;
+                    }
+                }
+            }
+            "rpc_complete" => {
+                let (Some(host), Some(dst), Some(qos), Some(rnl), Some(rnl_per_mtu)) = (
+                    ev.u64("host"),
+                    ev.u64("dst"),
+                    ev.u64("qos_run"),
+                    ev.u64("rnl_ps"),
+                    ev.u64("rnl_per_mtu_ps"),
+                ) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                // Warmup filter on *issue* time, matching the harness's own
+                // completion accounting.
+                let issued_at = ev.t_ps.saturating_sub(rnl);
+                let warm = match &self.run_info {
+                    Some(info) => issued_at >= info.warmup_ps,
+                    None => true,
+                };
+                for stats in [
+                    self.channels.entry((host, dst, qos)).or_default(),
+                    self.qos.entry(qos).or_default(),
+                ] {
+                    stats.completed += 1;
+                    if warm {
+                        stats.rnl_ps.record(rnl as f64);
+                        stats.rnl_per_mtu_ps.record(rnl_per_mtu as f64);
+                    }
+                }
+            }
+            "admit_prob" => {
+                let (Some(host), Some(dst), Some(qos), Some(p)) = (
+                    ev.u64("host"),
+                    ev.u64("dst"),
+                    ev.u64("qos"),
+                    ev.num("p"),
+                ) else {
+                    self.integrity.parse_errors += 1;
+                    return;
+                };
+                let at = self.admit.entry((host, dst, qos)).or_default();
+                if at.points.is_empty() {
+                    at.min_p = p;
+                    at.max_p = p;
+                } else {
+                    at.min_p = at.min_p.min(p);
+                    at.max_p = at.max_p.max(p);
+                }
+                at.points.push((ev.t_ps, p));
+            }
+            "fault_link_down" => {
+                if let Some(key) = Self::port_key(ev) {
+                    self.faults
+                        .link_windows
+                        .entry(key)
+                        .or_default()
+                        .push((ev.t_ps, None));
+                }
+            }
+            "fault_link_up" => {
+                if let Some(key) = Self::port_key(ev) {
+                    let windows = self.faults.link_windows.entry(key).or_default();
+                    match windows.last_mut() {
+                        Some(w) if w.1.is_none() => w.1 = Some(ev.t_ps),
+                        _ => windows.push((ev.t_ps, Some(ev.t_ps))),
+                    }
+                }
+            }
+            "fault_quota_outage" => {
+                let (Some(host), Some(down)) = (ev.u64("host"), ev.bool("down")) else {
+                    return;
+                };
+                let windows = self.faults.quota_windows.entry(host).or_default();
+                if down {
+                    windows.push((ev.t_ps, None));
+                } else {
+                    match windows.last_mut() {
+                        Some(w) if w.1.is_none() => w.1 = Some(ev.t_ps),
+                        _ => windows.push((ev.t_ps, Some(ev.t_ps))),
+                    }
+                }
+            }
+            "warn" => {
+                self.warn_count += 1;
+                if self.warn_samples.len() < 5 {
+                    self.warn_samples.push(format!(
+                        "[{}] {}",
+                        ev.str("component").unwrap_or("?"),
+                        ev.str("message").unwrap_or("?")
+                    ));
+                }
+            }
+            "cwnd_update" | "retransmit" => {
+                // Counted in kind_counts; no per-event state is rebuilt.
+            }
+            _ => self.integrity.unknown_kinds += 1,
+        }
+    }
+
+    /// The switch port carrying the most enqueued bytes — the bottleneck
+    /// the delay-bound audit evaluates. Falls back to any port when the
+    /// trace has no switch events.
+    pub fn bottleneck_port(&self) -> Option<&PortKey> {
+        let total = |p: &PortTimeline| p.classes.values().map(|c| c.enq_bytes).sum::<u64>();
+        self.ports
+            .iter()
+            .filter(|(k, _)| k.node.starts_with("switch"))
+            .max_by_key(|(_, p)| total(p))
+            .or_else(|| self.ports.iter().max_by_key(|(_, p)| total(p)))
+            .map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn header() -> String {
+        format!(
+            "{{\"seq\":0,\"t_ps\":0,\"type\":\"trace_header\",\"format\":\"aequitas-trace\",\"schema_version\":{}}}\n",
+            aequitas_telemetry::TRACE_SCHEMA_VERSION
+        )
+    }
+
+    fn enq(seq: u64, t: u64, class: u64, bytes: u64, backlog: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t_ps\":{t},\"type\":\"pkt_enqueue\",\"node\":\"switch0\",\"port\":2,\
+             \"class\":{class},\"bytes\":{bytes},\"depth_pkts\":1,\"backlog_bytes\":{backlog}}}\n"
+        )
+    }
+
+    fn deq(seq: u64, t: u64, class: u64, bytes: u64, backlog: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t_ps\":{t},\"type\":\"pkt_dequeue\",\"node\":\"switch0\",\"port\":2,\
+             \"class\":{class},\"bytes\":{bytes},\"backlog_bytes\":{backlog}}}\n"
+        )
+    }
+
+    #[test]
+    fn fifo_matching_reconstructs_queue_delays() {
+        let mut t = header();
+        // Two class-0 packets queued, served in order; one class-1 packet
+        // in between.
+        t += &enq(1, 100, 0, 1000, 1000);
+        t += &enq(2, 200, 0, 1000, 2000);
+        t += &enq(3, 250, 1, 500, 2500);
+        t += &deq(4, 300, 0, 1000, 1500);
+        t += &deq(5, 450, 0, 1000, 500);
+        t += &deq(6, 500, 1, 500, 0);
+        let mut r = Reconstruction::from_reader(Cursor::new(t)).unwrap();
+        assert_eq!(r.epochs, 1);
+        assert_eq!(r.integrity.seq_gaps, 0);
+        let key = PortKey {
+            node: "switch0".into(),
+            port: 2,
+        };
+        let port = r.ports.get_mut(&key).unwrap();
+        assert_eq!(port.backlog_mismatches, 0);
+        assert_eq!(port.unmatched_dequeues, 0);
+        assert_eq!(port.max_backlog_bytes, 2500);
+        assert_eq!(port.backlog_at(0), 0);
+        assert_eq!(port.backlog_at(260), 2500);
+        assert_eq!(port.backlog_at(9999), 0);
+        let c0 = port.classes.get_mut(&0).unwrap();
+        // Delays: 300-100=200, 450-200=250.
+        assert_eq!(c0.max_delay_ps, 250);
+        assert_eq!(c0.delay_ps.count(), 2);
+        assert_eq!(port.classes.get_mut(&1).unwrap().max_delay_ps, 250);
+    }
+
+    #[test]
+    fn epoch_restart_resets_queues_not_stats() {
+        let mut t = header();
+        t += &enq(1, 100, 0, 1000, 1000);
+        t += &deq(2, 200, 0, 1000, 0);
+        t += &enq(3, 300, 0, 1000, 1000); // left pending at the restart
+        t += &enq(4, 50, 0, 1000, 1000); // time went backwards: new epoch
+        t += &deq(5, 90, 0, 1000, 0);
+        let r = Reconstruction::from_reader(Cursor::new(t)).unwrap();
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.integrity.epoch_orphans, 1);
+        let port = &r.ports[&PortKey {
+            node: "switch0".into(),
+            port: 2,
+        }];
+        // Both epochs' dequeues matched within their own epoch.
+        assert_eq!(port.unmatched_dequeues, 0);
+        assert_eq!(port.backlog_mismatches, 0);
+    }
+
+    #[test]
+    fn rpc_and_admit_and_fault_events_aggregate() {
+        let mut t = header();
+        t += "{\"seq\":1,\"t_ps\":10,\"type\":\"run_info\",\"experiment\":\"x\",\"hosts\":3,\"classes\":2,\"weights\":[4,1],\"slos_per_mtu_ps\":[1875000,0],\"slo_percentile\":99.9,\"warmup_ps\":1000,\"duration_ps\":100000,\"senders\":2,\"mu\":0.8,\"rho\":1.2,\"period_ps\":100000000}\n";
+        t += "{\"seq\":2,\"t_ps\":500,\"type\":\"rpc_issue\",\"host\":0,\"dst\":2,\"qos_req\":0,\"qos_run\":1,\"downgraded\":true,\"size_bytes\":32768,\"p_admit\":0.5}\n";
+        // Issued at 2000-800 >= warmup: counted in percentiles.
+        t += "{\"seq\":3,\"t_ps\":2000,\"type\":\"rpc_complete\",\"host\":0,\"dst\":2,\"qos_run\":1,\"downgraded\":true,\"size_bytes\":32768,\"rnl_ps\":800,\"rnl_per_mtu_ps\":100}\n";
+        // Issued at 900-400 < warmup: excluded from percentiles.
+        t += "{\"seq\":4,\"t_ps\":2100,\"type\":\"rpc_complete\",\"host\":0,\"dst\":2,\"qos_run\":1,\"downgraded\":false,\"size_bytes\":32768,\"rnl_ps\":1700,\"rnl_per_mtu_ps\":999}\n";
+        t += "{\"seq\":5,\"t_ps\":2200,\"type\":\"admit_prob\",\"host\":0,\"dst\":2,\"qos\":0,\"p\":0.75,\"delta\":-0.25}\n";
+        t += "{\"seq\":6,\"t_ps\":2300,\"type\":\"admit_prob\",\"host\":0,\"dst\":2,\"qos\":0,\"p\":0.8,\"delta\":0.05}\n";
+        t += "{\"seq\":7,\"t_ps\":2400,\"type\":\"fault_link_down\",\"node\":\"switch0\",\"port\":1,\"until_ps\":3000}\n";
+        t += "{\"seq\":8,\"t_ps\":3000,\"type\":\"fault_link_up\",\"node\":\"switch0\",\"port\":1}\n";
+        t += "{\"seq\":9,\"t_ps\":3100,\"type\":\"fault_quota_outage\",\"host\":1,\"down\":true}\n";
+        let r = Reconstruction::from_reader(Cursor::new(t)).unwrap();
+        let info = r.run_info.as_ref().unwrap();
+        assert_eq!(info.weights, vec![4.0, 1.0]);
+        assert_eq!(info.warmup_ps, 1000);
+        let ch = &r.channels[&(0, 2, 1)];
+        assert_eq!(ch.issued, 1);
+        assert_eq!(ch.downgraded_in, 1);
+        assert_eq!(ch.completed, 2);
+        assert_eq!(ch.rnl_per_mtu_ps.count(), 1, "warmup filter");
+        assert_eq!(r.qos[&1].completed, 2);
+        let at = &r.admit[&(0, 2, 0)];
+        assert_eq!(at.points.len(), 2);
+        assert_eq!((at.min_p, at.max_p), (0.75, 0.8));
+        let lw = &r.faults.link_windows[&PortKey {
+            node: "switch0".into(),
+            port: 1,
+        }];
+        assert_eq!(lw, &vec![(2400, Some(3000))]);
+        assert_eq!(r.faults.quota_windows[&1], vec![(3100, None)]);
+    }
+
+    #[test]
+    fn corrupt_lines_counted_not_fatal() {
+        let mut t = header();
+        t += "this is not json\n";
+        t += &enq(2, 100, 0, 1000, 1000);
+        let r = Reconstruction::from_reader(Cursor::new(t)).unwrap();
+        assert_eq!(r.integrity.parse_errors, 1);
+        assert_eq!(r.integrity.seq_gaps, 1);
+        assert_eq!(r.events, 2);
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        let err = Reconstruction::from_reader(Cursor::new(enq(0, 1, 0, 1, 1))).unwrap_err();
+        assert!(err.contains("pre-v2"), "{err}");
+        let err = Reconstruction::from_reader(Cursor::new(String::new())).unwrap_err();
+        assert!(err.contains("empty trace"), "{err}");
+    }
+}

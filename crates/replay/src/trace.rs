@@ -1,0 +1,154 @@
+//! Raw trace-line access: parse one JSONL line into a typed-enough event
+//! record and enforce the stream's schema contract (a `trace_header` first
+//! line carrying a supported `schema_version`).
+
+use crate::json::{parse_object, JsonValue};
+use aequitas_telemetry::TRACE_SCHEMA_VERSION;
+
+/// One parsed trace line. Field lookup is by key; the leading
+/// `seq`/`t_ps`/`type` triple every record carries is hoisted out.
+#[derive(Debug, Clone)]
+pub struct RawEvent {
+    /// Monotone per-stream sequence number.
+    pub seq: u64,
+    /// Simulated timestamp in picoseconds.
+    pub t_ps: u64,
+    /// The event's `type` tag (e.g. `pkt_enqueue`).
+    pub kind: String,
+    /// The remaining fields, in serialized order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl RawEvent {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    /// Numeric field as f64.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+    /// Numeric field as non-negative integer.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.as_u64()
+    }
+    /// String field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key)?.as_str()
+    }
+    /// Boolean field.
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        self.get(key)?.as_bool()
+    }
+    /// Array field as f64s (all elements must be numeric).
+    pub fn arr_f64(&self, key: &str) -> Option<Vec<f64>> {
+        match self.get(key)? {
+            JsonValue::Arr(items) => items.iter().map(JsonValue::as_f64).collect(),
+            _ => None,
+        }
+    }
+    /// Array field as u64s.
+    pub fn arr_u64(&self, key: &str) -> Option<Vec<u64>> {
+        match self.get(key)? {
+            JsonValue::Arr(items) => items.iter().map(JsonValue::as_u64).collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one trace line. Errors describe what is wrong with the line, not
+/// where in the file it sits — callers add line numbers.
+pub fn parse_line(line: &str) -> Result<RawEvent, String> {
+    let mut fields = parse_object(line)?;
+    let lead = |fields: &[(String, JsonValue)], idx: usize, key: &str| -> Result<f64, String> {
+        match fields.get(idx) {
+            Some((k, v)) if k == key => v
+                .as_f64()
+                .ok_or_else(|| format!("field '{key}' is not numeric")),
+            _ => Err(format!("line does not start with seq,t_ps,type: missing '{key}'")),
+        }
+    };
+    let seq = lead(&fields, 0, "seq")? as u64;
+    let t_ps = lead(&fields, 1, "t_ps")? as u64;
+    let kind = match fields.get(2) {
+        Some((k, JsonValue::Str(s))) if k == "type" => s.clone(),
+        _ => return Err("line does not start with seq,t_ps,type: missing 'type'".into()),
+    };
+    fields.drain(..3);
+    Ok(RawEvent {
+        seq,
+        t_ps,
+        kind,
+        fields,
+    })
+}
+
+/// Validate the stream header (must be the first line of every v2+ trace)
+/// and return the schema version it declares. Errors are worded for humans:
+/// a missing header means a pre-versioning trace, a version mismatch means
+/// this binary is too old or too new for the file.
+pub fn check_header(first: &RawEvent) -> Result<u32, String> {
+    if first.kind != "trace_header" {
+        return Err(format!(
+            "trace does not start with a trace_header line (found '{}'); \
+             this looks like a pre-v2 (unversioned) trace, which aequitas-replay \
+             does not support — re-run the experiment with a current build",
+            first.kind
+        ));
+    }
+    let version = first
+        .u64("schema_version")
+        .ok_or("trace_header is missing a numeric schema_version field")? as u32;
+    if version != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported trace schema version {version} (this build understands \
+             version {TRACE_SCHEMA_VERSION}); regenerate the trace or use a matching \
+             aequitas-replay build"
+        ));
+    }
+    Ok(version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks_header() {
+        let ev = parse_line(
+            "{\"seq\":0,\"t_ps\":0,\"type\":\"trace_header\",\"format\":\"aequitas-trace\",\"schema_version\":2}",
+        )
+        .unwrap();
+        assert_eq!(ev.seq, 0);
+        assert_eq!(check_header(&ev).unwrap(), TRACE_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_missing_header() {
+        let ev = parse_line(
+            "{\"seq\":0,\"t_ps\":0,\"type\":\"trace_header\",\"format\":\"aequitas-trace\",\"schema_version\":99}",
+        )
+        .unwrap();
+        let err = check_header(&ev).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+
+        let ev =
+            parse_line("{\"seq\":0,\"t_ps\":100,\"type\":\"pkt_enqueue\",\"node\":\"host0\"}")
+                .unwrap();
+        let err = check_header(&ev).unwrap_err();
+        assert!(err.contains("pre-v2"), "{err}");
+    }
+
+    #[test]
+    fn field_accessors() {
+        let ev = parse_line(
+            "{\"seq\":4,\"t_ps\":77,\"type\":\"run_info\",\"experiment\":\"x\",\"weights\":[4,1],\"mu\":0.8,\"down\":false}",
+        )
+        .unwrap();
+        assert_eq!(ev.t_ps, 77);
+        assert_eq!(ev.str("experiment"), Some("x"));
+        assert_eq!(ev.arr_f64("weights").unwrap(), vec![4.0, 1.0]);
+        assert_eq!(ev.num("mu"), Some(0.8));
+        assert_eq!(ev.bool("down"), Some(false));
+        assert_eq!(ev.u64("missing"), None);
+    }
+}

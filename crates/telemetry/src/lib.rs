@@ -28,7 +28,10 @@ pub mod trace;
 
 pub use hist::LogLinearHistogram;
 pub use metrics::{labels, MetricId, MetricsRegistry};
-pub use trace::{FlightRecorder, JsonlWriter, NodeKind, NullSink, TraceEvent, TraceSink};
+pub use trace::{
+    FlightRecorder, JsonlWriter, NodeKind, NullSink, TraceEvent, TraceSink,
+    TRACE_SCHEMA_FINGERPRINT, TRACE_SCHEMA_VERSION,
+};
 
 use aequitas_sim_core::{SimDuration, SimTime};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -91,9 +94,12 @@ impl Telemetry {
         Telemetry { inner: None }
     }
 
-    /// An enabled handle feeding `sink`.
+    /// An enabled handle feeding `sink`. The first line of every enabled
+    /// trace is a `trace_header` event (seq 0) carrying
+    /// [`trace::TRACE_SCHEMA_VERSION`], so offline tooling can reject
+    /// streams it does not understand.
     pub fn with_sink(sink: impl TraceSink + 'static, config: TelemetryConfig) -> Self {
-        Telemetry {
+        let tel = Telemetry {
             inner: Some(Arc::new(Inner {
                 trace: Mutex::new(TraceState {
                     sink: Box::new(sink),
@@ -105,7 +111,14 @@ impl Telemetry {
                 sample_every: config.sample_every,
                 next_sample: Mutex::new(0),
             })),
-        }
+        };
+        tel.emit(
+            SimTime::ZERO,
+            TraceEvent::TraceHeader {
+                schema_version: trace::TRACE_SCHEMA_VERSION,
+            },
+        );
+        tel
     }
 
     /// An enabled handle streaming JSONL to `path` (created/truncated).
@@ -191,6 +204,15 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             inner.trace.lock().unwrap().sink.flush();
         }
+    }
+
+    /// The filesystem path of the trace sink, when the sink writes to one
+    /// (i.e. a [`JsonlWriter`]). Used by the harness self-audit to locate
+    /// the finished trace.
+    pub fn trace_path(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.trace.lock().unwrap().sink.path().map(|p| p.to_path_buf()))
     }
 
     /// Write all sampled metric series as CSV (`t_us,metric,labels,value`).
@@ -300,7 +322,9 @@ mod tests {
             );
         }
         let lines = fr.dump();
-        assert_eq!(lines.len(), 3);
+        // Line 0 is the schema header, then the three warns.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\":\"trace_header\""), "{}", lines[0]);
         for (i, line) in lines.iter().enumerate() {
             assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
         }
@@ -339,7 +363,7 @@ mod tests {
         );
         tel.warn("b", "y");
         let lines = fr.dump();
-        assert!(lines[1].contains("\"t_ps\":5000000"), "{}", lines[1]);
+        assert!(lines[2].contains("\"t_ps\":5000000"), "{}", lines[2]);
     }
 
     #[test]
@@ -350,7 +374,8 @@ mod tests {
         install_global(Telemetry::with_sink(fr.clone(), TelemetryConfig::default()));
         assert!(global().is_enabled());
         note("test", || "hello".to_string());
-        assert_eq!(fr.len(), 1);
+        // Header line + the note.
+        assert_eq!(fr.len(), 2);
         clear_global();
         assert!(!global().is_enabled());
     }

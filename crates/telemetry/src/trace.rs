@@ -15,6 +15,25 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+/// Version of the JSONL trace schema. Every enabled telemetry handle writes
+/// a `trace_header` line (seq 0) carrying this number, and `aequitas-replay`
+/// refuses traces whose version it does not understand. Bump it whenever a
+/// [`TraceEvent`] variant or field is added, removed, renamed, or its
+/// serialized form changes — lint rule AQ013 cross-checks the enum layout
+/// against [`TRACE_SCHEMA_FINGERPRINT`] so silent drift fails `lint.sh`.
+///
+/// History: v1 = the headerless PR 2 format; v2 added the `trace_header` and
+/// `run_info` lines.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// FNV-1a-64 fingerprint of the [`TraceEvent`] variant and field names, in
+/// declaration order. Maintained by lint rule AQ013: when the enum changes,
+/// the lint reports the newly computed value — bump
+/// [`TRACE_SCHEMA_VERSION`] and paste the new fingerprint here. Fields whose
+/// declaration line carries a `schema:` justification comment are excluded
+/// (the escape hatch for schema-neutral refactors).
+pub const TRACE_SCHEMA_FINGERPRINT: u64 = 0xdbe8_0412_4d2f_87e3;
+
 /// Which kind of node a packet event happened at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
@@ -37,6 +56,53 @@ impl NodeKind {
 /// (`*_ps` = picoseconds of simulated time, `*_bytes` = bytes).
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
+    /// Stream header, always the first line (seq 0) of a trace. Carries the
+    /// schema version so offline tooling can fail loudly on drift.
+    TraceHeader {
+        /// The [`TRACE_SCHEMA_VERSION`] the producing build was compiled
+        /// with.
+        schema_version: u32,
+    },
+    /// Experiment parameters, emitted once per engine build by the
+    /// experiment harness so a trace is self-describing: the replay auditor
+    /// reads bounds inputs (WFQ weights, burst-period parameters) and SLO
+    /// targets from here instead of requiring them on the command line.
+    /// Unknown numeric parameters are recorded as 0 and the corresponding
+    /// audit checks are skipped.
+    RunInfo {
+        /// Experiment name (harness setup name or figure id).
+        experiment: String,
+        /// Number of hosts in the topology.
+        hosts: u32,
+        /// Number of QoS classes.
+        classes: u32,
+        /// WFQ weights per class, highest QoS first (empty when the
+        /// scheduler is not WFQ).
+        weights: Vec<f64>,
+        /// Per-class RNL-per-MTU SLO targets in picoseconds (0 = no SLO for
+        /// that class).
+        slos_per_mtu_ps: Vec<u64>,
+        /// Percentile at which the SLOs are evaluated (e.g. 99.9).
+        slo_percentile: f64,
+        /// Warmup cutoff: completions issued before this are excluded from
+        /// audited statistics.
+        warmup_ps: u64,
+        /// Scheduled run duration.
+        duration_ps: u64,
+        /// Number of hosts with an active workload (traffic sources).
+        senders: u32,
+        /// Aggregate mean offered load at the shared bottleneck as a
+        /// fraction of line rate — the paper's μ (0 when unknown).
+        mu: f64,
+        /// Aggregate burst-phase arrival rate as a fraction of line rate —
+        /// the paper's ρ (0 when unknown or the arrival process is not
+        /// burst/on-off).
+        rho: f64,
+        /// Burst period of the on/off arrival process in picoseconds (0
+        /// when not burst/on-off; bound audits need this to normalize
+        /// delays).
+        period_ps: u64,
+    },
     /// A packet was accepted into an egress-port queue.
     PktEnqueue {
         /// Node kind the port belongs to.
@@ -216,6 +282,8 @@ impl TraceEvent {
     /// The event's `type` tag as it appears in the JSONL output.
     pub fn type_tag(&self) -> &'static str {
         match self {
+            TraceEvent::TraceHeader { .. } => "trace_header",
+            TraceEvent::RunInfo { .. } => "run_info",
             TraceEvent::PktEnqueue { .. } => "pkt_enqueue",
             TraceEvent::PktDequeue { .. } => "pkt_dequeue",
             TraceEvent::PktDrop { .. } => "pkt_drop",
@@ -247,6 +315,45 @@ impl TraceEvent {
     pub fn write_json(&self, s: &mut String, seq: u64, t_ps: u64) {
         let _ = write!(s, "{{\"seq\":{seq},\"t_ps\":{t_ps},\"type\":\"{}\"", self.type_tag());
         match self {
+            TraceEvent::TraceHeader { schema_version } => {
+                let _ = write!(
+                    s,
+                    ",\"format\":\"aequitas-trace\",\"schema_version\":{schema_version}"
+                );
+            }
+            TraceEvent::RunInfo {
+                experiment,
+                hosts,
+                classes,
+                weights,
+                slos_per_mtu_ps,
+                slo_percentile,
+                warmup_ps,
+                duration_ps,
+                senders,
+                mu,
+                rho,
+                period_ps,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"experiment\":\"{}\",\"hosts\":{hosts},\"classes\":{classes},\"weights\":[",
+                    escape_json(experiment)
+                );
+                for (i, w) in weights.iter().enumerate() {
+                    let _ = write!(s, "{}{w}", if i > 0 { "," } else { "" });
+                }
+                s.push_str("],\"slos_per_mtu_ps\":[");
+                for (i, v) in slos_per_mtu_ps.iter().enumerate() {
+                    let _ = write!(s, "{}{v}", if i > 0 { "," } else { "" });
+                }
+                let _ = write!(
+                    s,
+                    "],\"slo_percentile\":{slo_percentile},\"warmup_ps\":{warmup_ps},\
+                     \"duration_ps\":{duration_ps},\"senders\":{senders},\"mu\":{mu},\
+                     \"rho\":{rho},\"period_ps\":{period_ps}"
+                );
+            }
             TraceEvent::PktEnqueue {
                 node,
                 node_id,
@@ -446,6 +553,12 @@ pub trait TraceSink: Send {
     }
     /// Flush any buffering to the backing store.
     fn flush(&mut self) {}
+    /// The filesystem path this sink writes to, when it has one. Lets the
+    /// experiment harness hand a finished trace to the replay auditor
+    /// without re-plumbing the CLI's `--trace` argument.
+    fn path(&self) -> Option<&Path> {
+        None
+    }
 }
 
 /// A sink that discards everything (useful to exercise the enabled path
@@ -491,6 +604,9 @@ impl TraceSink for JsonlWriter {
     }
     fn flush(&mut self) {
         let _ = self.w.flush();
+    }
+    fn path(&self) -> Option<&Path> {
+        Some(&self.path)
     }
 }
 
@@ -609,6 +725,40 @@ mod tests {
         assert!(j.starts_with("{\"seq\":7,\"t_ps\":1234,\"type\":\"pkt_drop\""), "{j}");
         assert!(j.ends_with('}'));
         assert!(j.contains("\"node\":\"switch3\""));
+    }
+
+    #[test]
+    fn header_and_run_info_serialize() {
+        let j = TraceEvent::TraceHeader {
+            schema_version: TRACE_SCHEMA_VERSION,
+        }
+        .to_json(0, 0);
+        assert_eq!(
+            j,
+            format!(
+                "{{\"seq\":0,\"t_ps\":0,\"type\":\"trace_header\",\
+                 \"format\":\"aequitas-trace\",\"schema_version\":{TRACE_SCHEMA_VERSION}}}"
+            )
+        );
+        let j = TraceEvent::RunInfo {
+            experiment: "fig10".into(),
+            hosts: 3,
+            classes: 2,
+            weights: vec![4.0, 1.0],
+            slos_per_mtu_ps: vec![1875, 0],
+            slo_percentile: 99.9,
+            warmup_ps: 5,
+            duration_ps: 10,
+            senders: 2,
+            mu: 0.8,
+            rho: 1.2,
+            period_ps: 100_000_000,
+        }
+        .to_json(1, 0);
+        assert!(j.contains("\"type\":\"run_info\""), "{j}");
+        assert!(j.contains("\"weights\":[4,1]"), "{j}");
+        assert!(j.contains("\"slos_per_mtu_ps\":[1875,0]"), "{j}");
+        assert!(j.contains("\"mu\":0.8,\"rho\":1.2,\"period_ps\":100000000"), "{j}");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: first-party lint, release build, tier-1 tests, the simsan
 # (simulation sanitizer) test job, a simsan determinism diff, clippy with
-# warnings denied, the bench regression gate, and the telemetry + chaos
-# smokes. The full-length fig11 invariance test is #[ignore]'d in-tree
+# warnings denied, the bench regression gate, and the telemetry + replay +
+# chaos smokes. The full-length fig11 invariance test is #[ignore]'d in-tree
 # (the quick probe covers thread/backend determinism); run
 # `cargo test -- --ignored` for the long variants.
 #
@@ -45,6 +45,9 @@ scripts/bench_gate.sh
 
 echo "== trace smoke =="
 scripts/trace_smoke.sh
+
+echo "== replay smoke =="
+scripts/replay_smoke.sh
 
 echo "== chaos smoke =="
 scripts/chaos_smoke.sh

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Trace smoke: run a quick experiment with --trace/--metrics and sanity-check
-# that the telemetry outputs are well-formed — JSONL that parses line-by-line
-# with monotone timestamps covering the core event families, and a metrics
-# CSV with the expected header and a healthy number of samples.
+# Trace smoke: run a quick experiment with --trace/--metrics and validate
+# the telemetry outputs through `aequitas-replay` — the trace must carry a
+# recognized schema header, parse line-by-line, reconstruct with clean
+# integrity (contiguous seq, byte conservation), cross-check against the
+# sampled metrics CSV, and audit without a FAIL verdict.
 #
 # Usage: scripts/trace_smoke.sh [experiment]   (default: trace-demo — the
 # figure experiments simulate enough 100 Gbps traffic that a traced run is
@@ -15,38 +16,30 @@ OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
 TRACE="$OUT/trace.jsonl"
 METRICS="$OUT/metrics.csv"
+REPORT="$OUT/report.json"
 
 echo "== build (release) =="
-cargo build -q --release --offline -p aequitas-experiments
+cargo build -q --release --offline -p aequitas-experiments -p aequitas-replay
 
 echo "== run $EXP with tracing =="
 target/release/aequitas-sim run "$EXP" --trace "$TRACE" --metrics "$METRICS" >/dev/null
 
-echo "== check trace =="
+echo "== replay + reconstruct + audit =="
 [ -s "$TRACE" ] || { echo "FAIL: trace file empty" >&2; exit 1; }
-# Global `seq` is contiguous across the whole stream. `t_ps` is monotone
-# within one simulation but NOT across a sweep experiment — every sweep
-# point restarts simulated time at zero — so per-run monotonicity is
-# enforced by tests/telemetry.rs, not here.
-awk '
-    # Every line is a JSON object with leading {"seq":N,"t_ps":T,"type":"..."}.
-    !/^\{"seq":[0-9]+,"t_ps":[0-9]+,"type":"[a-z_]+"/ { bad++; if (bad <= 3) print "bad line: " $0 > "/dev/stderr"; next }
-    !/\}$/ { bad++; next }
-    {
-        match($0, /"seq":[0-9]+/); s = substr($0, RSTART + 6, RLENGTH - 6) + 0
-        if (s != n) { gap++ }
-        match($0, /"type":"[a-z_]+"/); type = substr($0, RSTART + 8, RLENGTH - 9)
-        seen[type]++
-        n++
-    }
-    END {
-        if (bad > 0) { print "FAIL: " bad " malformed trace lines"; exit 1 }
-        if (gap > 0) { print "FAIL: " gap " sequence-number gaps"; exit 1 }
-        split("pkt_enqueue pkt_dequeue rpc_issue rpc_complete cwnd_update admit_prob", req, " ")
-        for (i in req) if (!(req[i] in seen)) { print "FAIL: no " req[i] " events"; exit 1 }
-        printf "ok: %d trace lines, %d event types\n", n, length(seen)
-    }
-' "$TRACE"
+# `replay` exits non-zero when the header is missing/unknown, the stream
+# has parse errors or seq gaps, or the replayed backlog disagrees with the
+# metrics CSV gauges; the audit verdict is reported but only `audit` mode
+# turns a bound violation into a failing exit.
+target/release/aequitas-replay replay --trace "$TRACE" --metrics "$METRICS" --json "$REPORT"
+
+echo "== check replay report =="
+[ -s "$REPORT" ] || { echo "FAIL: replay wrote no JSON report" >&2; exit 1; }
+for family in pkt_enqueue pkt_dequeue rpc_issue rpc_complete cwnd_update admit_prob; do
+    grep -q "\"$family\"" "$REPORT" \
+        || { echo "FAIL: no $family events in replay report" >&2; exit 1; }
+done
+grep -q '"schema_version":' "$REPORT" \
+    || { echo "FAIL: replay report lacks schema_version" >&2; exit 1; }
 
 echo "== check metrics =="
 [ -s "$METRICS" ] || { echo "FAIL: metrics file empty" >&2; exit 1; }
@@ -54,11 +47,6 @@ head -1 "$METRICS" | grep -qx 't_us,metric,labels,value' \
     || { echo "FAIL: bad metrics header: $(head -1 "$METRICS")" >&2; exit 1; }
 ROWS=$(($(wc -l < "$METRICS") - 1))
 [ "$ROWS" -ge 10 ] || { echo "FAIL: only $ROWS metric samples" >&2; exit 1; }
-# Every data row is exactly 4 fields: t_us, metric, labels (quoted when it
-# contains commas), numeric value.
-awk 'NR > 1 && !/^[0-9.]+,[a-zA-Z_.0-9]+,("[^"]*"|[^",]*),-?[0-9.eE+-]+$/ {
-    bad++; if (bad <= 3) print "bad metrics row: " $0 > "/dev/stderr"
-} END { if (bad > 0) { print "FAIL: " bad " malformed metric rows"; exit 1 } }' "$METRICS"
 echo "ok: $ROWS metric samples"
 
 echo "trace smoke passed"

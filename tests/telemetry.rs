@@ -39,9 +39,24 @@ fn parse_flat_json(line: &str) -> Option<Vec<(String, String)>> {
         if chars.next()? != ':' {
             return None;
         }
-        // Value: string, or a bare token up to ',' at top level.
+        // Value: string, array of bare tokens (run_info's weights/SLOs), or
+        // a bare token up to ',' at top level.
         let mut value = String::new();
-        if chars.peek() == Some(&'"') {
+        if chars.peek() == Some(&'[') {
+            value.push(chars.next()?);
+            loop {
+                let c = chars.next()?;
+                value.push(c);
+                if c == ']' {
+                    break;
+                }
+            }
+            let body = &value[1..value.len() - 1];
+            let ok = body.is_empty() || body.split(',').all(|v| v.parse::<f64>().is_ok());
+            if !ok {
+                return None;
+            }
+        } else if chars.peek() == Some(&'"') {
             chars.next();
             loop {
                 match chars.next()? {
