@@ -257,6 +257,7 @@ impl DeadlineHost {
         // Age out silent flows (ended senders).
         let stale = SimDuration::from_ms(2);
         self.inflows
+            // det: pure predicate; the surviving set is order-independent.
             .retain(|_, f| now.saturating_since(f.last_heard) < stale);
 
         let cap = self.line_rate.bps() as f64;
@@ -265,6 +266,7 @@ impl DeadlineHost {
         match self.mode {
             DeadlineMode::D3 => {
                 // Demands in flow-arrival order; leftover split equally.
+                // det: collected then sorted by arrival_seq before use.
                 let mut flows: Vec<(&(usize, u64), &InFlow)> = self.inflows.iter().collect();
                 flows.sort_by_key(|(_, f)| f.arrival_seq);
                 let mut left = cap;
@@ -298,6 +300,7 @@ impl DeadlineHost {
                 // of service) wastes ~45% of the bottleneck, the queue of
                 // paused flows grows under Poisson bursts, and flows starve
                 // past their deadline slack even at low load.
+                // det: collected then sorted by a total EDF key before use.
                 let mut flows: Vec<(&(usize, u64), &InFlow)> = self.inflows.iter().collect();
                 flows.sort_by_key(|(_, f)| {
                     (
@@ -319,6 +322,7 @@ impl DeadlineHost {
         if broadcast {
             self.last_broadcast = now;
         }
+        // det: keys are collected and sorted before any side effect.
         let mut keys: Vec<(usize, u64)> = self.inflows.keys().copied().collect();
         keys.sort_unstable();
         for (src_host, mid) in keys {
@@ -335,6 +339,7 @@ impl DeadlineHost {
     /// flows; re-request rates periodically.
     fn pump(&mut self, ctx: &mut HostCtx) {
         let now = ctx.now();
+        // det: keys are collected and sorted before any side effect.
         let ids: Vec<u64> = self.msgs.keys().copied().collect();
         let mut ids = ids;
         ids.sort_unstable();
@@ -535,6 +540,8 @@ impl HostAgent for DeadlineHost {
                 self.retx_armed = false;
                 let now = ctx.now();
                 let mut resend: Vec<(u64, u32)> = Vec::new();
+                // det: iteration only fills `resend`, which is sorted
+                // before any side effect.
                 for (&id, msg) in &self.msgs {
                     for seq in msg.expired(now, self.rto) {
                         resend.push((id, seq));

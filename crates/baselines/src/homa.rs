@@ -220,7 +220,7 @@ impl HomaHost {
     fn regrant(&mut self, ctx: &mut HostCtx) {
         let mut order: Vec<((usize, u64), u32, u32, u32)> = self
             .inc
-            .iter()
+            .iter() // det: collected then sorted by the total key (remaining, k)
             .map(|(&k, m)| (k, m.remaining_segs, m.received.len() as u32, m.total_segs))
             .collect();
         order.sort_by_key(|&(k, remaining, _, _)| (remaining, k));
@@ -358,7 +358,7 @@ impl HostAgent for HomaHost {
                 // everything past the receiver's confirmed count.
                 let stalled: Vec<u64> = self
                     .out
-                    .iter()
+                    .iter() // det: only fills `stalled`, sorted before use
                     .filter(|(_, m)| {
                         now.saturating_since(m.last_progress) >= self.rto
                             && m.sent_upto >= m.granted_upto.min(m.total_segs)

@@ -125,6 +125,7 @@ impl PfabricHost {
     /// per host.
     fn pump(&mut self, ctx: &mut HostCtx) {
         loop {
+            // det: integer sum is order-independent.
             let inflight: usize = self.msgs.values().map(|m| m.inflight()).sum();
             if inflight >= self.window {
                 return;
@@ -133,7 +134,7 @@ impl PfabricHost {
             // bytes (ties by id for determinism).
             let Some((&id, _)) = self
                 .msgs
-                .iter()
+                .iter() // det: min_by_key ties broken by id below
                 .filter(|(_, m)| !m.fully_sent())
                 .min_by_key(|(&id, m)| (m.remaining_bytes(), id))
             else {
@@ -152,6 +153,7 @@ impl PfabricHost {
     }
 
     fn arm_retx(&mut self, ctx: &mut HostCtx) {
+        // det: `any` over a pure predicate is order-independent.
         if !self.retx_armed && self.msgs.values().any(|m| m.inflight() > 0 || !m.fully_sent()) {
             self.retx_armed = true;
             ctx.set_timer(ctx.now() + self.rto / 2, RETX_TIMER);
@@ -192,6 +194,8 @@ impl HostAgent for PfabricHost {
                 self.retx_armed = false;
                 let now = ctx.now();
                 let mut resend: Vec<(u64, u32)> = Vec::new();
+                // det: iteration only fills `resend`, which is sorted
+                // before any side effect.
                 for (&id, msg) in &self.msgs {
                     for seq in msg.expired(now, self.rto) {
                         resend.push((id, seq));

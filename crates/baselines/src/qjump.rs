@@ -216,6 +216,8 @@ impl HostAgent for QjumpHost {
                 self.retx_armed = false;
                 let now = ctx.now();
                 let mut resend: Vec<(usize, u64, u32)> = Vec::new();
+                // det: iteration only fills `resend`, which is sorted
+                // before any side effect.
                 for (&id, msg) in &self.msgs {
                     for seq in msg.expired(now, self.rto) {
                         resend.push((msg.qos as usize, id, seq));

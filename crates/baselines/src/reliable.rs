@@ -150,7 +150,7 @@ impl OutMsg {
     pub fn expired(&self, now: SimTime, rto: SimDuration) -> Vec<u32> {
         let mut v: Vec<u32> = self
             .unacked
-            .iter()
+            .iter() // det: collected then sorted before return
             .filter(|&(_, &t)| now.saturating_since(t) >= rto)
             .map(|(&s, _)| s)
             .collect();

@@ -36,6 +36,11 @@ impl Config {
         })
     }
 
+    /// All explicitly-configured rules (for the suppression-debt report).
+    pub fn configured_rules(&self) -> impl Iterator<Item = (&str, &RuleConfig)> {
+        self.rules.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Parse the TOML subset described in the module docs.
     pub fn parse(src: &str) -> Result<Config, String> {
         let mut cfg = Config::default();

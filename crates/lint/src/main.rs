@@ -2,39 +2,56 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p aequitas-lint            # human output, exit 1 on findings
-//! cargo run -p aequitas-lint -- --json  # machine output (stable ordering)
-//! cargo run -p aequitas-lint -- --rules # list rule IDs and rationale
+//! cargo run -p aequitas-lint                    # human output, exit 1 on findings
+//! cargo run -p aequitas-lint -- --json          # machine output (stable ordering)
+//! cargo run -p aequitas-lint -- --sarif         # SARIF 2.1.0 log
+//! cargo run -p aequitas-lint -- --rules         # list rule IDs and rationale
+//! cargo run -p aequitas-lint -- --debt          # suppression-debt report
+//! cargo run -p aequitas-lint -- --debt-gate     # fail if debt exceeds lint-debt.toml
+//! cargo run -p aequitas-lint -- --debt-baseline # rewrite lint-debt.toml
 //! ```
 //!
 //! Configuration lives in `lint.toml` at the workspace root; see the
-//! "Correctness tooling" section of DESIGN.md for the rule catalogue.
+//! "Correctness tooling" section of DESIGN.md for the rule catalogue and
+//! the dataflow model behind AQ014–AQ016. All analysis logic lives in the
+//! library (`aequitas_lint`); this binary is argument parsing and I/O.
 
-mod config;
-mod lexer;
-mod rules;
-
-use config::Config;
-use rules::Finding;
+use aequitas_lint::config::Config;
+use aequitas_lint::debt::Debt;
+use aequitas_lint::{load_workspace_files, run_analysis, rules, sarif};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+enum Output {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut output = Output::Human;
     let mut list_rules = false;
+    let mut debt_report = false;
+    let mut debt_gate = false;
+    let mut debt_baseline = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => output = Output::Json,
+            "--sarif" => output = Output::Sarif,
             "--rules" => list_rules = true,
+            "--debt" => debt_report = true,
+            "--debt-gate" => debt_gate = true,
+            "--debt-baseline" => debt_baseline = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--config" => config_path = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
-                    "aequitas-lint [--json] [--rules] [--root DIR] [--config FILE]\n\
-                     Domain static analysis for the Aequitas workspace (rules AQ001..AQ012)."
+                    "aequitas-lint [--json|--sarif] [--rules] [--debt|--debt-gate|--debt-baseline] [--root DIR] [--config FILE]\n\
+                     Domain static analysis for the Aequitas workspace: token rules\n\
+                     (AQ001..AQ013, AQ017) plus call-graph dataflow passes (AQ014..AQ016)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -71,49 +88,74 @@ fn main() -> ExitCode {
             }
         },
         Err(e) => {
-            eprintln!(
-                "aequitas-lint: cannot read {}: {e}",
-                config_path.display()
-            );
+            eprintln!("aequitas-lint: cannot read {}: {e}", config_path.display());
             return ExitCode::from(2);
         }
     };
 
-    let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
-    files.sort();
-
-    let mut findings: Vec<Finding> = Vec::new();
-    for rel in &files {
-        let abs = root.join(rel);
-        let src = match std::fs::read_to_string(&abs) {
-            Ok(s) => s,
+    if debt_report || debt_gate || debt_baseline {
+        let files = match load_workspace_files(&root) {
+            Ok(f) => f,
             Err(e) => {
-                eprintln!("aequitas-lint: cannot read {}: {e}", abs.display());
+                eprintln!("aequitas-lint: {e}");
                 return ExitCode::from(2);
             }
         };
-        let toks = lexer::tokenize(&src);
-        rules::check_file(&cfg, rel, &toks, &mut findings);
-    }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-
-    if json {
-        println!("{}", to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{} {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message);
+        let debt = Debt::collect(&files, &cfg);
+        let baseline_path = root.join("lint-debt.toml");
+        if debt_baseline {
+            if let Err(e) = std::fs::write(&baseline_path, debt.to_toml()) {
+                eprintln!("aequitas-lint: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("aequitas-lint: wrote {}", baseline_path.display());
+            return ExitCode::SUCCESS;
         }
-        if findings.is_empty() {
-            eprintln!(
-                "aequitas-lint: clean ({} files, {} rules)",
-                files.len(),
-                rules::RULES.len()
-            );
-        } else {
-            eprintln!("aequitas-lint: {} finding(s)", findings.len());
+        if debt_report {
+            print!("{}", debt.report());
+        }
+        if debt_gate {
+            let baseline = match std::fs::read_to_string(&baseline_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "aequitas-lint: cannot read {} (run --debt-baseline once): {e}",
+                        baseline_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            match debt.gate(&baseline) {
+                Ok(msg) => eprintln!("aequitas-lint: {msg}"),
+                Err(msg) => {
+                    eprintln!("aequitas-lint: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match run_analysis(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("aequitas-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match output {
+        Output::Json => println!("{}", sarif::to_json(&findings)),
+        Output::Sarif => println!("{}", sarif::to_sarif(&findings)),
+        Output::Human => {
+            for f in &findings {
+                println!("{} {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message);
+            }
+            if findings.is_empty() {
+                eprintln!("aequitas-lint: clean ({} rules)", rules::RULES.len());
+            } else {
+                eprintln!("aequitas-lint: {} finding(s)", findings.len());
+            }
         }
     }
     if findings.is_empty() {
@@ -123,108 +165,9 @@ fn main() -> ExitCode {
     }
 }
 
-/// Recursively collect workspace-relative `/`-separated paths of `.rs`
-/// files, skipping build output and VCS metadata.
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return,
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                let rel = rel
-                    .components()
-                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
-                    .collect::<Vec<_>>()
-                    .join("/");
-                out.push(rel);
-            }
-        }
-    }
-}
-
-/// Serialize findings as a JSON array. Hand-rolled: the workspace is
-/// registry-free, and the schema is four scalars and a string.
-fn to_json(findings: &[Finding]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    let mut s = String::from("[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
-            f.rule,
-            esc(&f.path),
-            f.line,
-            f.col,
-            esc(&f.message)
-        ));
-    }
-    if !findings.is_empty() {
-        s.push('\n');
-    }
-    s.push(']');
-    s
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_snapshot() {
-        let findings = vec![
-            Finding {
-                rule: "AQ001",
-                path: "crates/netsim/src/engine.rs".into(),
-                line: 12,
-                col: 9,
-                message: "wall-clock type `Instant` on a simulation path".into(),
-            },
-            Finding {
-                rule: "AQ004",
-                path: "crates/core/src/controller.rs".into(),
-                line: 266,
-                col: 20,
-                message: "exact float comparison; say \"why\"".into(),
-            },
-        ];
-        let got = to_json(&findings);
-        let want = r#"[
-  {"rule":"AQ001","path":"crates/netsim/src/engine.rs","line":12,"col":9,"message":"wall-clock type `Instant` on a simulation path"},
-  {"rule":"AQ004","path":"crates/core/src/controller.rs","line":266,"col":20,"message":"exact float comparison; say \"why\""}
-]"#;
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn json_empty_is_bare_brackets() {
-        assert_eq!(to_json(&[]), "[]");
-    }
 
     #[test]
     fn rule_ids_are_stable_and_sorted() {

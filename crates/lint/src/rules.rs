@@ -109,6 +109,26 @@ pub const RULES: &[RuleInfo] = &[
         name: "trace-schema-drift",
         desc: "TraceEvent variants/fields changed without updating TRACE_SCHEMA_FINGERPRINT (and bumping TRACE_SCHEMA_VERSION); replay tools key on the version",
     },
+    RuleInfo {
+        id: "AQ014",
+        name: "determinism-taint",
+        desc: "call-graph taint: a nondeterminism source (wall clock, ambient RNG, HashMap/HashSet iteration, pointer-address cast) reaches engine/shard/quota hot code through a call chain; `det:` comment at the source or boundary call suppresses",
+    },
+    RuleInfo {
+        id: "AQ015",
+        name: "unit-mixing",
+        desc: "dataflow unit check: ps/ns/us, bytes/bits, or raw-vs-per-MTU RNL quantities mixed in arithmetic/comparison or passed to a parameter of a different unit; `unit:` comment suppresses",
+    },
+    RuleInfo {
+        id: "AQ016",
+        name: "shard-isolation",
+        desc: "code reachable from Engine::run_until (the per-domain window) must not touch shared state (Mutex/RwLock/atomics/channels), spawn threads, or call the coordinator-only boundary-merge API; `shard:` comment suppresses",
+    },
+    RuleInfo {
+        id: "AQ017",
+        name: "library-unwrap",
+        desc: ".unwrap()/.expect() in replay library code panics on malformed traces; return a contextful error (audit tools must report, not die); `panic:` comment suppresses",
+    },
 ];
 
 /// Hot-path crates for AQ006.
@@ -376,6 +396,9 @@ pub fn check_file(cfg: &Config, rel: &str, toks: &[Tok], out: &mut Vec<Finding>)
     if enabled("AQ013") {
         aq013_trace_schema_drift(&ctx, out);
     }
+    if enabled("AQ017") {
+        aq017_library_unwrap(&ctx, out);
+    }
 }
 
 fn finding(out: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, t: &Tok, msg: String) {
@@ -566,6 +589,42 @@ fn aq006_naked_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 ctx,
                 t,
                 "naked .unwrap() on a hot path; use .expect(\"why this cannot fail\")".to_string(),
+            );
+        }
+    }
+}
+
+/// AQ017: `.unwrap()` / `.expect()` in replay *library* code. The replay
+/// tools exist to diagnose malformed or divergent traces — panicking on
+/// exactly those inputs defeats them, so library paths must surface
+/// contextful errors instead. Scoped to `crates/replay/src/` minus the CLI
+/// entry point (`main.rs` may unwrap on already-reported errors) and test
+/// code. AQ006's hot-path crates sanction `.expect("why")`; here even that
+/// is a panic on user input, hence the separate rule. A genuinely
+/// unreachable state escapes with a `panic:` comment arguing why.
+fn aq017_library_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.rel.starts_with("crates/replay/src/") || ctx.rel.ends_with("/main.rs") {
+        return;
+    }
+    let n = ctx.code.len();
+    for w in 1..n.saturating_sub(1) {
+        let t = ctx.c(w);
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && ctx.c(w - 1).text == "."
+            && ctx.c(w + 1).text == "("
+            && !ctx.in_test(t.line)
+            && !ctx.justified(t.line, "panic:")
+        {
+            finding(
+                out,
+                "AQ017",
+                ctx,
+                t,
+                format!(
+                    ".{}() in replay library code panics on malformed traces; bubble a contextful error instead",
+                    t.text
+                ),
             );
         }
     }

@@ -1,0 +1,136 @@
+//! Output serializers: plain `--json` and SARIF 2.1.0 (`--sarif`).
+//!
+//! SARIF is the interchange format code-scanning UIs ingest; emitting it
+//! directly means CI can upload findings without a converter. Hand-rolled
+//! like everything else here — the workspace is registry-free.
+
+use crate::rules::{Finding, RULES};
+
+/// Escape a string for a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Findings as a plain JSON array (the pre-existing `--json` format).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            f.rule,
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+/// Findings as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"aequitas-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            r.id,
+            json_escape(r.name),
+            json_escape(r.desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}\n",
+            f.rule,
+            json_escape(&f.message),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "AQ014",
+            path: "crates/netsim/src/engine.rs".into(),
+            line: 7,
+            col: 3,
+            message: "taint \"chain\"".into(),
+        }]
+    }
+
+    #[test]
+    fn json_snapshot() {
+        let findings = vec![
+            Finding {
+                rule: "AQ001",
+                path: "crates/netsim/src/engine.rs".into(),
+                line: 12,
+                col: 9,
+                message: "wall-clock type `Instant` on a simulation path".into(),
+            },
+            Finding {
+                rule: "AQ004",
+                path: "crates/core/src/controller.rs".into(),
+                line: 266,
+                col: 20,
+                message: "exact float comparison; say \"why\"".into(),
+            },
+        ];
+        let want = r#"[
+  {"rule":"AQ001","path":"crates/netsim/src/engine.rs","line":12,"col":9,"message":"wall-clock type `Instant` on a simulation path"},
+  {"rule":"AQ004","path":"crates/core/src/controller.rs","line":266,"col":20,"message":"exact float comparison; say \"why\""}
+]"#;
+        assert_eq!(to_json(&findings), want);
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"AQ001\""));
+        assert!(s.contains("\"id\": \"AQ017\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"uri\": \"crates/netsim/src/engine.rs\""));
+    }
+}

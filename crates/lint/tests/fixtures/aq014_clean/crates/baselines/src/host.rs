@@ -1,0 +1,18 @@
+//! AQ014 clean golden: ordered-map iteration is deterministic.
+
+use std::collections::BTreeMap;
+
+pub struct Host {
+    flows: BTreeMap<u64, u64>,
+}
+
+impl Host {
+    pub fn deliver(&mut self) {
+        self.pick_next();
+    }
+
+    /// BTreeMap iteration order is the key order: deterministic.
+    fn pick_next(&mut self) -> Option<u64> {
+        self.flows.iter().next().map(|(&k, _)| k)
+    }
+}

@@ -1,0 +1,18 @@
+//! AQ014 clean golden: the same call shape as the true-positive fixture,
+//! but every step is deterministic — no finding may be reported.
+
+pub struct Engine {
+    host: Host,
+}
+
+impl Engine {
+    /// Same chain as the TP fixture, but the callee iterates a BTreeMap.
+    pub fn dispatch(&mut self) {
+        self.host.deliver();
+    }
+
+    /// Pure arithmetic on an explicit timestamp: no ambient clock.
+    pub fn stamp(&mut self, now_ps: u64) -> u64 {
+        now_ps + 1
+    }
+}

@@ -1,0 +1,20 @@
+//! AQ014 true-positive golden: the nondeterminism source lives here, in a
+//! non-hot crate; only the hot caller in netsim should be reported.
+
+use std::collections::HashMap;
+
+pub struct Host {
+    flows: HashMap<u64, u64>,
+}
+
+impl Host {
+    /// Mid hop: no source of its own, just forwards the taint.
+    pub fn deliver(&mut self) {
+        self.pick_next();
+    }
+
+    /// The source: map iteration order decides which flow is served.
+    fn pick_next(&mut self) -> Option<u64> {
+        self.flows.iter().next().map(|(&k, _)| k)
+    }
+}

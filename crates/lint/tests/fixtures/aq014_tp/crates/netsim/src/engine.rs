@@ -1,0 +1,23 @@
+//! AQ014 true-positive golden: hot engine code reaching nondeterminism.
+//!
+//! `dispatch` is the cross-function case: the source is two hops away in
+//! a non-hot crate (dispatch -> deliver -> pick_next). `stamp` is the
+//! local case: the source sits directly in hot code.
+
+use std::time::Instant;
+
+pub struct Engine {
+    host: Host,
+}
+
+impl Engine {
+    /// Hot sink: taint enters from a non-hot callee two hops away.
+    pub fn dispatch(&mut self) {
+        self.host.deliver();
+    }
+
+    /// Hot sink with a local nondeterminism source.
+    pub fn stamp(&mut self) -> u128 {
+        Instant::now().elapsed().as_nanos()
+    }
+}

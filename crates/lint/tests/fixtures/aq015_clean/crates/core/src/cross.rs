@@ -1,0 +1,12 @@
+//! AQ015 clean golden: the caller passes bits into a bits parameter.
+
+/// Expects a length in bits.
+pub fn record_len(len_bits: u64) -> u64 {
+    len_bits * 2
+}
+
+/// Passes bits where bits are expected.
+pub fn caller() -> u64 {
+    let frame_bits = 128u64;
+    record_len(frame_bits)
+}

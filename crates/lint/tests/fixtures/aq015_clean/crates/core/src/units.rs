@@ -1,0 +1,17 @@
+//! AQ015 clean golden: consistent units on both sides of every operator.
+
+/// Same unit on both sides: fine.
+pub fn total_delay(queue_ps: u64, budget_ps: u64) -> u64 {
+    queue_ps + budget_ps
+}
+
+/// Bytes plus bytes: fine.
+pub fn frame_total(len_bytes: u64, pad_bytes: u64) -> u64 {
+    len_bytes + pad_bytes
+}
+
+/// A conversion function names both units; its identifier is unit-opaque
+/// by design, so dividing by a plain literal is fine.
+pub fn ps_to_ns(stamp_ps: u64) -> u64 {
+    stamp_ps / 1000
+}

@@ -1,0 +1,13 @@
+//! AQ015 true-positive golden: cross-function unit mixing — the caller
+//! passes bytes into a parameter that expects bits.
+
+/// Expects a length in bits.
+pub fn record_len(len_bits: u64) -> u64 {
+    len_bits * 2
+}
+
+/// Passes bytes where bits are expected.
+pub fn caller() -> u64 {
+    let frame_bytes = 128u64;
+    record_len(frame_bytes)
+}

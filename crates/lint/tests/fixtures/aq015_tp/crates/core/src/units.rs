@@ -1,0 +1,6 @@
+//! AQ015 true-positive golden: intra-function unit mixing.
+
+/// Adds picoseconds to nanoseconds without converting.
+pub fn total_delay(queue_ps: u64, budget_ns: u64) -> u64 {
+    queue_ps + budget_ns
+}

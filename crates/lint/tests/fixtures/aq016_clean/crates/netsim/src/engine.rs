@@ -1,0 +1,9 @@
+//! AQ016 clean golden: the same entry point, deterministic window body.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn run_until(&mut self) {
+        step_domain();
+    }
+}

@@ -1,0 +1,17 @@
+//! AQ016 clean golden: domain code on ordered single-threaded state, plus
+//! an *unreachable* function whose lock usage must not be reported —
+//! the pass is reachability-based, not a per-line grep.
+
+use std::collections::BTreeMap;
+
+/// Reachable from `Engine::run_until`; touches only its own state.
+pub fn step_domain() {
+    let mut q: BTreeMap<u64, u64> = BTreeMap::new();
+    q.insert(1, 2);
+}
+
+/// Never called from the window: lock usage here is out of scope.
+pub fn offline_tool() {
+    let m = std::sync::Mutex::new(0u64);
+    let _ = m.lock();
+}

@@ -1,0 +1,11 @@
+//! AQ016 true-positive golden: the domain window entry point.
+
+pub struct Engine;
+
+impl Engine {
+    /// Everything reachable from here runs inside a domain window.
+    pub fn run_until(&mut self) {
+        step_domain();
+        sync_ports();
+    }
+}

@@ -1,0 +1,11 @@
+//! AQ016 true-positive golden: domain code touching shared state.
+
+use std::sync::Mutex;
+
+/// Reachable from `Engine::run_until`, but holds a lock: two violations
+/// (the `Mutex` primitive and the `.lock()` call).
+pub fn step_domain() {
+    let shared = Mutex::new(0u64);
+    let guard = shared.lock();
+    drop(guard);
+}

@@ -1,0 +1,6 @@
+//! AQ016 true-positive golden: domain code spawning a thread.
+
+/// Reachable from `Engine::run_until`, but creates a thread.
+pub fn sync_ports() {
+    std::thread::spawn(|| {});
+}

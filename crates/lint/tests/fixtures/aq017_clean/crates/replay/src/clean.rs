@@ -1,0 +1,14 @@
+//! AQ017 clean golden: library code that propagates instead of panicking,
+//! and a test module where unwrap is sanctioned.
+
+pub fn first_event(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first_event(&[1]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! AQ017 clean golden: the CLI entry point may panic on bad invocations.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().unwrap();
+    drop(first);
+}

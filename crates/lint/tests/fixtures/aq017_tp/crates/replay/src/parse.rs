@@ -1,0 +1,6 @@
+//! AQ017 true-positive golden: unwrap in replay library code.
+
+/// Library code must not panic on malformed traces.
+pub fn first_event(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! AQ017 true-positive golden: expect in replay library code.
+
+/// `.expect()` is a panic too.
+pub fn qos_share(total: u64, part: u64) -> f64 {
+    u32::try_from(part).expect("fits") as f64 / total as f64
+}

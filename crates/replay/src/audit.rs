@@ -251,7 +251,9 @@ fn delay_bound_checks(
     let Some(key) = recon.bottleneck_port().cloned() else {
         return skip_all("no packet events in trace".into());
     };
-    let port = recon.ports.get_mut(&key).unwrap();
+    let Some(port) = recon.ports.get_mut(&key) else {
+        return skip_all(format!("bottleneck port {key} missing from reconstruction"));
+    };
     let total_bytes: u64 = port.classes.values().map(|c| c.enq_bytes).sum();
     if total_bytes == 0 {
         return skip_all(format!("no bytes enqueued at bottleneck port {key}"));

@@ -55,9 +55,7 @@ pub struct RunSummary {
 impl RunSummary {
     fn build(name: &str, recon: &mut Reconstruction, report: &AuditReport) -> RunSummary {
         let mut rnl = BTreeMap::new();
-        let qos_keys: Vec<u64> = recon.qos.keys().copied().collect();
-        for q in qos_keys {
-            let st = recon.qos.get_mut(&q).unwrap();
+        for (&q, st) in recon.qos.iter_mut() {
             let p = &mut st.rnl_per_mtu_ps;
             if let (Some(p50), Some(p99), Some(p999), Some(mean)) =
                 (p.p50(), p.p99(), p.p999(), p.mean())

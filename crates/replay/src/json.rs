@@ -72,7 +72,7 @@ impl<'a> Parser<'a> {
         Some(c)
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, c: u8) -> Result<(), String> {
         if self.bump() == Some(c) {
             Ok(())
         } else {
@@ -81,7 +81,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump().ok_or_else(|| self.err("unterminated string"))? {
@@ -192,14 +192,14 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
         b: line.as_bytes(),
         i: 0,
     };
-    p.expect(b'{')?;
+    p.expect_byte(b'{')?;
     let mut fields = Vec::new();
     if p.peek() == Some(b'}') {
         p.i += 1;
     } else {
         loop {
             let key = p.string()?;
-            p.expect(b':')?;
+            p.expect_byte(b':')?;
             let value = p.value()?;
             fields.push((key, value));
             match p.bump() {

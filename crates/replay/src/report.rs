@@ -241,9 +241,7 @@ pub fn report_json(recon: &mut Reconstruction, report: &AuditReport) -> String {
     }
     w.end_obj();
     w.key("qos").begin_arr();
-    let qos_keys: Vec<u64> = recon.qos.keys().copied().collect();
-    for q in qos_keys {
-        let st = recon.qos.get_mut(&q).unwrap();
+    for (&q, st) in recon.qos.iter_mut() {
         w.begin_obj();
         w.key("qos").u64_val(q);
         channel_obj(&mut w, st);
@@ -251,9 +249,7 @@ pub fn report_json(recon: &mut Reconstruction, report: &AuditReport) -> String {
     }
     w.end_arr();
     w.key("channels").begin_arr();
-    let chan_keys: Vec<(u64, u64, u64)> = recon.channels.keys().copied().collect();
-    for key in chan_keys {
-        let st = recon.channels.get_mut(&key).unwrap();
+    for (&key, st) in recon.channels.iter_mut() {
         w.begin_obj();
         w.key("src").u64_val(key.0);
         w.key("dst").u64_val(key.1);
@@ -263,9 +259,7 @@ pub fn report_json(recon: &mut Reconstruction, report: &AuditReport) -> String {
     }
     w.end_arr();
     w.key("ports").begin_arr();
-    let port_keys: Vec<_> = recon.ports.keys().cloned().collect();
-    for key in port_keys {
-        let port = recon.ports.get_mut(&key).unwrap();
+    for (key, port) in recon.ports.iter_mut() {
         w.begin_obj();
         w.key("node").str_val(&key.node);
         w.key("port").u64_val(key.port);
@@ -275,9 +269,7 @@ pub fn report_json(recon: &mut Reconstruction, report: &AuditReport) -> String {
         w.key("drop_pkts").u64_val(port.drop_pkts);
         w.key("fault_drop_pkts").u64_val(port.fault_drop_pkts);
         w.key("classes").begin_arr();
-        let class_keys: Vec<u64> = port.classes.keys().copied().collect();
-        for c in class_keys {
-            let ct = port.classes.get_mut(&c).unwrap();
+        for (&c, ct) in port.classes.iter_mut() {
             w.begin_obj();
             w.key("class").u64_val(c);
             w.key("enq_bytes").u64_val(ct.enq_bytes);
@@ -351,9 +343,7 @@ pub fn report_text(recon: &mut Reconstruction, report: &AuditReport) -> String {
         };
         let _ = writeln!(out, "  {:<22} {:<4}{nums} {}", c.name, c.status.as_str(), c.detail);
     }
-    let qos_keys: Vec<u64> = recon.qos.keys().copied().collect();
-    for q in qos_keys {
-        let st = recon.qos.get_mut(&q).unwrap();
+    for (&q, st) in recon.qos.iter_mut() {
         if let (Some(p50), Some(p99), Some(p999)) = (
             st.rnl_per_mtu_ps.p50(),
             st.rnl_per_mtu_ps.p99(),

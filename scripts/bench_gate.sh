@@ -53,7 +53,7 @@ GATED=(
     "arena_box_churn_baseline_ns_per_op:arena/box_churn_baseline"
     "sharded_clos3dom_100us_slice_ns:sharded_engine/clos3dom_100us_slice_1thread"
     "metrics_counter_string_keyed_ns_per_op:metrics_registry/counter_add_string_keyed"
-    "metrics_counter_interned_handle_ns_per_op:metrics_registry/counter_add_interned_handle"
+    "metrics_counter_interned_handle_opaque_ns_per_op:metrics_registry/counter_add_interned_handle_opaque"
     "fib_route_nested_vec_ns_per_op:forwarding/route_nested_vec"
     "fib_lookup_flat_ns_per_op:forwarding/fib_lookup_flat"
     "quota_allocate64_dense_ns:quota_allocate_64t/dense"

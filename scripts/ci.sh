@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: first-party lint, release build, tier-1 tests, the simsan
-# (simulation sanitizer) test job, a simsan determinism diff, clippy with
+# CI gate: first-party lint + suppression-debt gate, release build, tier-1
+# tests, the simsan (simulation sanitizer) test job, an overflow-checks +
+# simsan lane, a simsan determinism diff, clippy with
 # warnings denied, the bench regression gate, and the telemetry + replay +
 # chaos smokes. The full-length fig11 invariance test is #[ignore]'d in-tree
 # (the quick probe covers thread/backend determinism); run
@@ -24,6 +25,14 @@ echo "== tier-1 tests (simsan) =="
 # checks must hold on every test, and the deliberately-broken fixtures
 # flip from silent to should_panic.
 cargo test -q --offline --features simsan
+
+echo "== tier-1 tests (overflow-checks + simsan) =="
+# Release profile disables overflow checks; this lane compiles the whole
+# suite with them forced on (own target dir so the flag change does not
+# thrash the main cache) so silent wrap-around in time/byte arithmetic
+# fails loudly instead of corrupting results.
+RUSTFLAGS="-C overflow-checks=on" CARGO_TARGET_DIR=target/overflow \
+    cargo test -q --offline --features simsan
 
 echo "== simsan determinism diff =="
 # The sanitizer must observe, never steer: a full-stack run (WFQ fabric,

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
 # Run the first-party static-analysis pass (aequitas-lint) over the
-# workspace. Rule IDs, rationale, and the lint.toml allowlist format are
-# documented in DESIGN.md ("Correctness tooling").
+# workspace, then the suppression-debt gate: a new allowlist glob, a
+# disabled rule, or a new inline escape (`det:`, `alloc:`, `panic:`, ...)
+# fails CI unless the committed lint-debt.toml baseline is regenerated —
+# which makes every new suppression a reviewable diff. Rule IDs,
+# rationale, and the lint.toml format are documented in DESIGN.md
+# ("Correctness tooling").
 #
-# Usage: scripts/lint.sh [--json]
+# Usage: scripts/lint.sh [--json|--sarif|--debt|--debt-gate|--debt-baseline]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run -q --offline -p aequitas-lint -- "$@"
+if [ "$#" -gt 0 ]; then
+    # Explicit mode requested: pass through verbatim.
+    cargo run -q --offline -p aequitas-lint -- "$@"
+else
+    cargo run -q --offline -p aequitas-lint
+    cargo run -q --offline -p aequitas-lint -- --debt-gate
+fi

@@ -45,7 +45,7 @@ SLAB_NS=$(median_ns "arena/slab_churn32")
 BOXB_NS=$(median_ns "arena/box_churn_baseline")
 SHARD_NS=$(median_ns "sharded_engine/clos3dom_100us_slice_1thread")
 MET_STR_NS=$(median_ns "metrics_registry/counter_add_string_keyed")
-MET_ID_NS=$(median_ns "metrics_registry/counter_add_interned_handle")
+MET_ID_NS=$(median_ns "metrics_registry/counter_add_interned_handle_opaque")
 ROUTE_NS=$(median_ns "forwarding/route_nested_vec")
 FIB_NS=$(median_ns "forwarding/fib_lookup_flat")
 QUOTA_DENSE_NS=$(median_ns "quota_allocate_64t/dense")
@@ -87,7 +87,7 @@ SNAP=$(cat <<EOF
   "arena_box_churn_baseline_ns_per_op": ${BOXB_NS:-null},
   "sharded_clos3dom_100us_slice_ns": ${SHARD_NS:-null},
   "metrics_counter_string_keyed_ns_per_op": ${MET_STR_NS:-null},
-  "metrics_counter_interned_handle_ns_per_op": ${MET_ID_NS:-null},
+  "metrics_counter_interned_handle_opaque_ns_per_op": ${MET_ID_NS:-null},
   "fib_route_nested_vec_ns_per_op": ${ROUTE_NS:-null},
   "fib_lookup_flat_ns_per_op": ${FIB_NS:-null},
   "quota_allocate64_dense_ns": ${QUOTA_DENSE_NS:-null},

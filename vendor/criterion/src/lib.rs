@@ -93,6 +93,17 @@ pub struct Bencher {
     samples_ns: Vec<f64>,
 }
 
+/// Time a single invocation of `f`, returning the elapsed wall-clock
+/// duration alongside the result. This is the sanctioned entry point for
+/// first-party tests that enforce a runtime budget — simulation code
+/// itself must use sim-core time, and AQ001 bans `Instant` outside this
+/// vendored crate.
+pub fn time_once<R, F: FnOnce() -> R>(f: F) -> (Duration, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
 impl Bencher {
     /// Measure `f`: warm up, pick a batch size that makes one sample take
     /// roughly `sample_target`, then record `sample_size` samples.
