@@ -69,6 +69,14 @@ pub fn engine_config() -> EngineConfig {
     }
 }
 
+/// [`engine_config`] with a chaos fault plan attached, so D3/PDQ run under
+/// the same seeded fault schedules as Aequitas in containment experiments.
+pub fn engine_config_with_faults(
+    faults: Option<std::sync::Arc<aequitas_netsim::faults::FaultPlan>>,
+) -> EngineConfig {
+    EngineConfig { faults, ..engine_config() }
+}
+
 /// Deadlines per priority class, following the paper's §6.10 setup (250 µs
 /// for QoSh, 300 µs for QoSm, none for BE).
 pub fn deadline_for(priority: Priority) -> Option<SimDuration> {

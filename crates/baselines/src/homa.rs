@@ -55,6 +55,14 @@ pub fn engine_config() -> EngineConfig {
     }
 }
 
+/// [`engine_config`] with a chaos fault plan attached, so Homa runs under
+/// the same seeded fault schedules as Aequitas in containment experiments.
+pub fn engine_config_with_faults(
+    faults: Option<std::sync::Arc<aequitas_netsim::faults::FaultPlan>>,
+) -> EngineConfig {
+    EngineConfig { faults, ..engine_config() }
+}
+
 /// Unscheduled priority from message size (class 0 reserved for control).
 fn unscheduled_priority(total_segs: u32) -> u8 {
     match total_segs {

@@ -42,6 +42,14 @@ pub fn engine_config() -> EngineConfig {
     }
 }
 
+/// [`engine_config`] with a chaos fault plan attached, so pFabric runs under
+/// the same seeded fault schedules as Aequitas in containment experiments.
+pub fn engine_config_with_faults(
+    faults: Option<std::sync::Arc<aequitas_netsim::faults::FaultPlan>>,
+) -> EngineConfig {
+    EngineConfig { faults, ..engine_config() }
+}
+
 /// A pFabric host.
 pub struct PfabricHost {
     host: HostId,

@@ -36,6 +36,14 @@ pub fn engine_config() -> EngineConfig {
     }
 }
 
+/// [`engine_config`] with a chaos fault plan attached, so QJump runs under
+/// the same seeded fault schedules as Aequitas in containment experiments.
+pub fn engine_config_with_faults(
+    faults: Option<std::sync::Arc<aequitas_netsim::faults::FaultPlan>>,
+) -> EngineConfig {
+    EngineConfig { faults, ..engine_config() }
+}
+
 /// Per-class throughput factors (fraction of line rate each class's host
 /// sender may use). The highest class gets the strongest throttle — QJump's
 /// latency-vs-throughput epoch tradeoff; the lowest is unthrottled.

@@ -183,6 +183,11 @@ fn entries() -> Vec<Entry> {
             run: |s| chaos::print_quota_outage(&chaos::quota_outage(s)),
         },
         Entry {
+            name: "chaos-containment",
+            about: "chaos: baseline x fault matrix with time-to-SLO-restore",
+            run: |s| chaos::print_containment(&chaos::containment(s)),
+        },
+        Entry {
             name: "ablations",
             about: "design-choice ablations (MD scaling, window, drop, floor)",
             run: |s| {
@@ -292,9 +297,16 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                if !chaos::install_global_fault_plan(plan) {
-                    eprintln!("--faults given more than once");
-                    usage();
+                match chaos::install_global_fault_plan(plan) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("--faults given more than once");
+                        usage();
+                    }
+                    Err(e) => {
+                        eprintln!("invalid fault plan {path}: {e}");
+                        std::process::exit(2);
+                    }
                 }
             }
             "--sample-us" => {

@@ -22,7 +22,7 @@
 //! fault plan into *any* experiment; [`install_global_fault_plan`] is the
 //! hook behind it.
 
-use crate::harness::{run_macro_controlled, MacroSetup, PolicyChoice, Scale};
+use crate::harness::{run_macro, run_macro_controlled, MacroSetup, PolicyChoice, Scale};
 use crate::report::{f1, print_table};
 use aequitas::{FallbackConfig, Grant, GrantKeeper, QuotaServer, QuotaSpec, SloTarget, TenantId};
 use aequitas_netsim::faults::{FaultPlan, LinkFlap, LinkSel, LossRule, Window};
@@ -43,9 +43,10 @@ static GLOBAL_PLAN: OnceLock<Arc<FaultPlan>> = OnceLock::new();
 
 /// Install a process-global fault plan applied to every engine the harness
 /// builds from here on (scenario-specific plans win over it). Returns
-/// `false` if a plan was already installed.
-pub fn install_global_fault_plan(plan: FaultPlan) -> bool {
-    GLOBAL_PLAN.set(Arc::new(plan.validated())).is_ok()
+/// `Ok(false)` if a plan was already installed, `Err` if the plan fails
+/// validation (operator TOML is untrusted input).
+pub fn install_global_fault_plan(plan: FaultPlan) -> Result<bool, String> {
+    Ok(GLOBAL_PLAN.set(Arc::new(plan.validated()?)).is_ok())
 }
 
 /// The installed global fault plan, if any.
@@ -146,7 +147,8 @@ pub fn link_flap_traced(scale: Scale, telemetry: Telemetry) -> FlapResult {
         }],
         ..FaultPlan::default()
     }
-    .validated();
+    .validated()
+    .expect("link-flap chaos plan is well-formed");
 
     let mut setup = MacroSetup::star_3qos(n);
     setup.engine = aequitas_netsim::EngineConfig::default_2qos();
@@ -345,7 +347,8 @@ pub fn quota_outage_traced(scale: Scale, telemetry: Telemetry) -> QuotaOutageRes
             }],
             ..FaultPlan::default()
         }
-        .validated(),
+        .validated()
+        .expect("quota-outage chaos plan is well-formed"),
     );
 
     let mut setup = MacroSetup::star_3qos(n);
@@ -487,5 +490,305 @@ pub fn print_quota_outage(r: &QuotaOutageResult) {
         r.floor_frac * 100.0,
         r.transitions,
         r.digest
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos containment: the baseline × fault matrix with time-to-SLO-restore.
+// ---------------------------------------------------------------------------
+
+/// Hosts in the containment fabric: leaf_spine(2 racks × 4 hosts, 2 spines).
+const CT_N: usize = 8;
+/// Senders (rack 0) all target host 7 (rack 1) across the spine layer.
+const CT_SENDERS: usize = 4;
+const CT_DST: usize = 7;
+/// Per-sender load: 4 × 0.15 = 60% of the receiver downlink.
+const CT_LOAD: f64 = 0.15;
+const CT_SIZE: u64 = 32_768;
+/// One shared workload seed — every scheme sees the same offered stream.
+const CT_SEED: u64 = 31_01;
+/// Offered load stops at 16 ms; the run drains until 20 ms.
+const CT_STOP_MS: u64 = 16;
+const CT_RUN_MS: u64 = 20;
+/// Fault window: onset at 4 ms, repair at 8 ms.
+const CT_ONSET_MS: u64 = 4;
+const CT_REPAIR_MS: u64 = 8;
+/// Absolute completion-latency SLO for the 32 KB PC RPCs (the paper's
+/// 250 µs deadline translation), evaluated per 500 µs window at p99.
+const CT_SLO_US: f64 = 250.0;
+const CT_WINDOW_PS: u64 = 500_000_000;
+
+/// The one seeded fault schedule every scheme runs under: spine 3 dies
+/// entirely for the window (blackholing the flows ECMP hashed through it),
+/// while the receiver's ToR downlink runs gray at 25% capacity with a
+/// creeping jitter ramp — offered 60 Gbps against an effective 25 Gbps, so
+/// queues build for 4 ms and must drain after repair.
+pub fn containment_plan() -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan {
+            seed: 1010,
+            switch_outages: vec![aequitas_netsim::faults::SwitchOutage {
+                switch: 3, // second spine: ToRs are 0-1, spines 2-3
+                window: Window {
+                    start: SimTime::from_ms(CT_ONSET_MS),
+                    end: SimTime::from_ms(CT_REPAIR_MS),
+                },
+            }],
+            gray: vec![aequitas_netsim::faults::GrayDegrade {
+                link: LinkSel::SwitchPort { switch: 1, port: 3 }, // ToR1 -> host 7
+                window: Window {
+                    start: SimTime::from_ms(CT_ONSET_MS),
+                    end: SimTime::from_ms(CT_REPAIR_MS),
+                },
+                rate_frac: 0.25,
+                jitter_ramp: SimDuration::from_us(2),
+            }],
+            ..FaultPlan::default()
+        }
+        .validated()
+        .expect("containment fault schedule is well-formed"),
+    )
+}
+
+fn ct_topology() -> aequitas_netsim::Topology {
+    aequitas_netsim::Topology::leaf_spine(
+        2,
+        4,
+        2,
+        aequitas_netsim::LinkSpec::default_100g(),
+        aequitas_netsim::LinkSpec::default_100g(),
+    )
+}
+
+fn ct_gen(src: usize) -> aequitas_baselines::WorkloadGen {
+    aequitas_baselines::WorkloadGen::new(
+        ArrivalProcess::Uniform { load: CT_LOAD },
+        TrafficPattern::ManyToOne { dst: CT_DST },
+        vec![(
+            Priority::PerformanceCritical,
+            1.0,
+            SizeDist::Fixed(CT_SIZE),
+        )],
+        src,
+        CT_N,
+        aequitas_sim_core::BitRate::from_gbps(100),
+        Some(SimTime::from_ms(CT_STOP_MS)),
+        CT_SEED ^ (src as u64 * 0x9E37),
+    )
+}
+
+/// `(completed_at ps, latency µs)` points for non-terminated completions,
+/// clipped at the offered-load stop so drain-phase completions cannot
+/// retroactively repair a window.
+fn ct_collect<A: aequitas_netsim::HostAgent>(
+    mut eng: aequitas_netsim::Engine<A>,
+    completions: impl Fn(&A) -> &[aequitas_baselines::BaselineCompletion],
+) -> Vec<(u64, f64)> {
+    eng.run_until(SimTime::from_ms(CT_RUN_MS));
+    let mut out = Vec::new();
+    for a in eng.agents() {
+        for c in completions(a) {
+            if !c.terminated && c.completed_at <= SimTime::from_ms(CT_STOP_MS) {
+                out.push((c.completed_at.as_ps(), c.latency().as_us_f64()));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    out
+}
+
+fn ct_pfabric(plan: Arc<FaultPlan>) -> Vec<(u64, f64)> {
+    use aequitas_baselines::{pfabric, PfabricHost};
+    let agents = (0..CT_N)
+        .map(|h| PfabricHost::new(HostId(h), (h < CT_SENDERS).then(|| ct_gen(h))))
+        .collect();
+    let eng = aequitas_netsim::Engine::new(
+        ct_topology(),
+        agents,
+        pfabric::engine_config_with_faults(Some(plan)),
+    );
+    ct_collect(eng, |a: &PfabricHost| a.completions())
+}
+
+fn ct_qjump(plan: Arc<FaultPlan>) -> Vec<(u64, f64)> {
+    use aequitas_baselines::{qjump, QjumpHost};
+    let rate = aequitas_sim_core::BitRate::from_gbps(100);
+    let agents = (0..CT_N)
+        .map(|h| QjumpHost::new(HostId(h), (h < CT_SENDERS).then(|| ct_gen(h)), rate))
+        .collect();
+    let eng = aequitas_netsim::Engine::new(
+        ct_topology(),
+        agents,
+        qjump::engine_config_with_faults(Some(plan)),
+    );
+    ct_collect(eng, |a: &QjumpHost| a.completions())
+}
+
+fn ct_deadline(plan: Arc<FaultPlan>, mode: aequitas_baselines::DeadlineMode) -> Vec<(u64, f64)> {
+    use aequitas_baselines::{deadline, DeadlineHost};
+    let rate = aequitas_sim_core::BitRate::from_gbps(100);
+    let agents = (0..CT_N)
+        .map(|h| DeadlineHost::new(HostId(h), mode, (h < CT_SENDERS).then(|| ct_gen(h)), rate))
+        .collect();
+    let eng = aequitas_netsim::Engine::new(
+        ct_topology(),
+        agents,
+        deadline::engine_config_with_faults(Some(plan)),
+    );
+    ct_collect(eng, |a: &DeadlineHost| a.completions())
+}
+
+fn ct_homa(plan: Arc<FaultPlan>) -> Vec<(u64, f64)> {
+    use aequitas_baselines::{homa, HomaHost};
+    let agents = (0..CT_N)
+        .map(|h| HomaHost::new(HostId(h), (h < CT_SENDERS).then(|| ct_gen(h))))
+        .collect();
+    let eng = aequitas_netsim::Engine::new(
+        ct_topology(),
+        agents,
+        homa::engine_config_with_faults(Some(plan)),
+    );
+    ct_collect(eng, |a: &HomaHost| a.completions())
+}
+
+fn ct_aequitas(plan: Arc<FaultPlan>) -> Vec<(u64, f64)> {
+    let mut setup = MacroSetup::star_3qos(CT_N);
+    setup.topo = ct_topology();
+    setup.engine = aequitas_netsim::EngineConfig::default_2qos();
+    setup.engine.faults = Some(plan);
+    setup.mapping = QosMapping::two_level();
+    setup.policy = PolicyChoice::Aequitas(aequitas::AequitasConfig::two_qos(
+        SloTarget::absolute(SimDuration::from_us_f64(CT_SLO_US), 8, 99.0),
+    ));
+    setup.duration = SimDuration::from_ms(CT_RUN_MS);
+    setup.warmup = SimDuration::ZERO;
+    setup.seed = CT_SEED;
+    for h in 0..CT_SENDERS {
+        setup.workloads[h] = Some(WorkloadSpec {
+            arrival: ArrivalProcess::Uniform { load: CT_LOAD },
+            pattern: TrafficPattern::ManyToOne { dst: CT_DST },
+            classes: vec![PrioritySpec {
+                priority: Priority::PerformanceCritical,
+                byte_share: 1.0,
+                sizes: SizeDist::Fixed(CT_SIZE),
+            }],
+            stop: Some(SimTime::from_ms(CT_STOP_MS)),
+        });
+    }
+    let r = run_macro(setup);
+    let mut out: Vec<(u64, f64)> = r
+        .completions
+        .iter()
+        .chain(r.warmup_completions.iter())
+        .filter(|c| c.completed_at <= SimTime::from_ms(CT_STOP_MS))
+        .map(|c| (c.completed_at.as_ps(), c.rnl().as_us_f64()))
+        .collect();
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    out
+}
+
+/// One scheme's row in the containment table.
+#[derive(Debug, Clone)]
+pub struct ContainmentRow {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Completions inside the offered-load horizon.
+    pub completed: usize,
+    /// p99 latency (µs) over the pre-fault windows.
+    pub pre_fault_p99_us: Option<f64>,
+    /// Worst windowed p99 (µs) from fault onset on.
+    pub worst_p99_us: Option<f64>,
+    /// Time from fault onset until the SLO is durably re-met (ms); `None`
+    /// when the scheme never recovers within the horizon.
+    pub restore_ms: Option<f64>,
+}
+
+/// The chaos containment matrix result.
+pub struct ContainmentResult {
+    /// One row per scheme, Aequitas first.
+    pub rows: Vec<ContainmentRow>,
+}
+
+fn ct_row(name: &'static str, points: Vec<(u64, f64)>) -> ContainmentRow {
+    use aequitas_replay::timeline;
+    let horizon = SimTime::from_ms(CT_STOP_MS).as_ps();
+    let onset = SimTime::from_ms(CT_ONSET_MS).as_ps();
+    let windows = timeline::windowed_until(&points, CT_WINDOW_PS, horizon);
+    let pre: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.start_ps + CT_WINDOW_PS <= onset && w.count > 0)
+        .map(|w| w.p99)
+        .collect();
+    let post: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.start_ps + CT_WINDOW_PS > onset && w.count > 0)
+        .map(|w| w.p99)
+        .collect();
+    let max = |v: &[f64]| {
+        v.iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+    };
+    ContainmentRow {
+        name,
+        completed: points.len(),
+        pre_fault_p99_us: max(&pre),
+        worst_p99_us: max(&post),
+        restore_ms: timeline::time_to_restore(&windows, onset, CT_SLO_US)
+            .map(|ps| ps as f64 / 1e9),
+    }
+}
+
+/// Run the containment matrix: Aequitas plus all five baselines under the
+/// one seeded fault schedule of [`containment_plan`]. The six runs are
+/// independent simulations, so they fan out across the sweep harness.
+pub fn containment(_scale: Scale) -> ContainmentResult {
+    use aequitas_baselines::DeadlineMode;
+    let plan = containment_plan();
+    let schemes: Vec<usize> = (0..6).collect();
+    let rows = crate::parallel::run_sweep(schemes, |k| match k {
+        0 => ct_row("Aequitas", ct_aequitas(plan.clone())),
+        1 => ct_row("pFabric", ct_pfabric(plan.clone())),
+        2 => ct_row("QJump", ct_qjump(plan.clone())),
+        3 => ct_row("D3", ct_deadline(plan.clone(), DeadlineMode::D3)),
+        4 => ct_row("PDQ", ct_deadline(plan.clone(), DeadlineMode::Pdq)),
+        _ => ct_row("Homa", ct_homa(plan.clone())),
+    });
+    ContainmentResult { rows }
+}
+
+/// Print the containment table.
+pub fn print_containment(r: &ContainmentResult) {
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.completed.to_string(),
+                crate::report::opt(s.pre_fault_p99_us, 1),
+                crate::report::opt(s.worst_p99_us, 1),
+                match s.restore_ms {
+                    Some(ms) => format!("{ms:.1}"),
+                    None => "never".to_string(),
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Chaos containment: spine outage + gray receiver downlink, 4-8 ms \
+         (windowed p99 vs 250 us SLO)",
+        &[
+            "scheme",
+            "completions",
+            "pre-fault p99 us",
+            "worst p99 us",
+            "SLO restore ms",
+        ],
+        &rows,
+    );
+    println!(
+        "fault onset {CT_ONSET_MS} ms, repair {CT_REPAIR_MS} ms; restore = end of last \
+         violating 500 us window minus onset; 'never' = still violating at {CT_STOP_MS} ms"
     );
 }

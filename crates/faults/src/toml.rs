@@ -12,7 +12,8 @@
 //! plan silently disabling a fault would invalidate an experiment.
 
 use crate::{
-    BurstLoss, CorruptRule, FaultPlan, JitterRule, LinkFlap, LinkSel, LossRule, Window,
+    BurstLoss, CorruptRule, FaultPlan, GrayDegrade, JitterRule, LinkFlap, LinkSel, LossRule,
+    PodLayout, PodOutage, SwitchOutage, Window,
 };
 use aequitas_sim_core::{SimDuration, SimTime};
 
@@ -172,14 +173,25 @@ fn us_duration(table: &Table, section: &str, key: &str) -> Result<SimDuration, S
     Ok(SimDuration::from_us_f64(require(table, section, key)?.as_f64(key)?))
 }
 
+fn window_of(table: &Table, section: &str) -> Result<Window, String> {
+    Ok(Window {
+        start: SimTime::ZERO + us_duration(table, section, "start_us")?,
+        end: SimTime::ZERO + us_duration(table, section, "end_us")?,
+    })
+}
+
 /// Build a [`FaultPlan`] from fault-plan TOML. Schema (all times relative to
 /// sim start):
 ///
 /// ```toml
 /// seed = 42                      # optional, default 0
+/// pods = 2                       # optional pod layout for "pod:<p>" selectors
+/// leaves_per_pod = 2             # and [[pod_outage]]; all three keys together,
+/// spines_per_pod = 2             # mirroring Topology::clos switch-id order
 ///
 /// [[link_flap]]
-/// link = "switch:0:2"            # "any" | "host:<h>" | "switch:<s>:<p>"
+/// link = "switch:0:2"            # "any" | "host:<h>" | "switch:<s>" |
+///                                # "switch:<s>:<p>" | "pod:<p>"
 /// first_down_us = 1000.0
 /// down_us = 200.0
 /// period_us = 1000.0
@@ -203,15 +215,56 @@ fn us_duration(table: &Table, section: &str, key: &str) -> Result<SimDuration, S
 /// [[quota_outage]]
 /// start_us = 5000.0
 /// end_us = 9000.0
+///
+/// [[switch_outage]]              # every port of the switch blackholes
+/// switch = 3
+/// start_us = 4000.0
+/// end_us = 8000.0
+///
+/// [[pod_outage]]                 # every leaf/spine of the pod blackholes;
+/// pod = 1                        # requires the pod layout root keys
+/// start_us = 4000.0
+/// end_us = 8000.0
+///
+/// [[gray_degrade]]               # link runs slow, not down
+/// link = "switch:1:3"
+/// start_us = 4000.0
+/// end_us = 8000.0
+/// rate_frac = 0.25               # optional, default 1.0 (no rate change)
+/// jitter_ramp_ns = 500.0         # optional, default 0: per-packet jitter cap
+///                                # grows linearly from 0 to this over the window
 /// ```
 pub fn plan_from_toml(text: &str) -> Result<FaultPlan, String> {
     let doc = parse_document(text)?;
-    reject_unknown(&doc.root, "root", &["seed"])?;
+    reject_unknown(
+        &doc.root,
+        "root",
+        &["seed", "pods", "leaves_per_pod", "spines_per_pod"],
+    )?;
+    let pod_layout = {
+        let pods = get(&doc.root, "pods")?;
+        let leaves = get(&doc.root, "leaves_per_pod")?;
+        let spines = get(&doc.root, "spines_per_pod")?;
+        match (pods, leaves, spines) {
+            (None, None, None) => None,
+            (Some(p), Some(l), Some(s)) => Some(PodLayout {
+                pods: p.as_u64("pods")? as usize,
+                leaves_per_pod: l.as_u64("leaves_per_pod")? as usize,
+                spines_per_pod: s.as_u64("spines_per_pod")? as usize,
+            }),
+            _ => {
+                return Err(
+                    "pod layout requires all of pods, leaves_per_pod, spines_per_pod".to_string(),
+                )
+            }
+        }
+    };
     let mut plan = FaultPlan {
         seed: match get(&doc.root, "seed")? {
             Some(v) => v.as_u64("seed")?,
             None => 0,
         },
+        pod_layout,
         ..FaultPlan::default()
     };
     for (name, table) in &doc.tables {
@@ -277,20 +330,52 @@ pub fn plan_from_toml(text: &str) -> Result<FaultPlan, String> {
             }
             "quota_outage" => {
                 reject_unknown(table, name, &["start_us", "end_us"])?;
-                plan.quota_outages.push(Window {
-                    start: SimTime::ZERO + us_duration(table, name, "start_us")?,
-                    end: SimTime::ZERO + us_duration(table, name, "end_us")?,
+                plan.quota_outages.push(window_of(table, name)?);
+            }
+            "switch_outage" => {
+                reject_unknown(table, name, &["switch", "start_us", "end_us"])?;
+                plan.switch_outages.push(SwitchOutage {
+                    switch: require(table, name, "switch")?.as_u64("switch")? as usize,
+                    window: window_of(table, name)?,
+                });
+            }
+            "pod_outage" => {
+                reject_unknown(table, name, &["pod", "start_us", "end_us"])?;
+                plan.pod_outages.push(PodOutage {
+                    pod: require(table, name, "pod")?.as_u64("pod")? as usize,
+                    window: window_of(table, name)?,
+                });
+            }
+            "gray_degrade" => {
+                reject_unknown(
+                    table,
+                    name,
+                    &["link", "start_us", "end_us", "rate_frac", "jitter_ramp_ns"],
+                )?;
+                plan.gray.push(GrayDegrade {
+                    link: link_of(table, name)?,
+                    window: window_of(table, name)?,
+                    rate_frac: match get(table, "rate_frac")? {
+                        Some(v) => v.as_f64("rate_frac")?,
+                        None => 1.0,
+                    },
+                    jitter_ramp: match get(table, "jitter_ramp_ns")? {
+                        Some(v) => {
+                            SimDuration::from_ps((v.as_f64("jitter_ramp_ns")? * 1000.0) as u64)
+                        }
+                        None => SimDuration::ZERO,
+                    },
                 });
             }
             other => {
                 return Err(format!(
                     "unknown table [[{other}]] (known: link_flap, loss, corrupt, jitter, \
-                     quota_outage)"
+                     quota_outage, switch_outage, pod_outage, gray_degrade)"
                 ))
             }
         }
     }
-    Ok(plan.validated())
+    plan.validated()
 }
 
 #[cfg(test)]
@@ -398,5 +483,91 @@ end_us = 9000.0
     fn plain_table_header_rejected() {
         let err = plan_from_toml("[loss]\nprob = 0.5\n").unwrap_err();
         assert!(err.contains("[[table]]"), "{err}");
+    }
+
+    const CHAOS_PLAN: &str = r#"
+seed = 7
+pods = 2
+leaves_per_pod = 2
+spines_per_pod = 2
+
+[[switch_outage]]
+switch = 3
+start_us = 4000.0
+end_us = 8000.0
+
+[[pod_outage]]
+pod = 1
+start_us = 5000.0
+end_us = 6000.0
+
+[[gray_degrade]]
+link = "switch:1:3"
+start_us = 4000.0
+end_us = 8000.0
+rate_frac = 0.25
+jitter_ramp_ns = 500.0
+"#;
+
+    #[test]
+    fn chaos_plan_round_trips() {
+        let plan = plan_from_toml(CHAOS_PLAN).unwrap();
+        assert_eq!(plan.switch_outages.len(), 1);
+        assert_eq!(plan.pod_outages.len(), 1);
+        assert_eq!(plan.gray.len(), 1);
+        assert_eq!(plan.gray[0].rate_frac, 0.25);
+        assert_eq!(plan.gray[0].jitter_ramp, SimDuration::from_ps(500_000));
+        assert_eq!(
+            plan.pod_layout,
+            Some(PodLayout { pods: 2, leaves_per_pod: 2, spines_per_pod: 2 })
+        );
+        // Switch 3 (a leaf of pod 1) is down during its own window and the
+        // pod outage alike; switch 0 (pod 0) is untouched.
+        let port = |switch| crate::LinkId::SwitchPort { switch, port: 0 };
+        assert!(plan.link_down(port(3), SimTime::from_us(4500)));
+        assert!(plan.link_down(port(2), SimTime::from_us(5500)));
+        assert!(!plan.link_down(port(2), SimTime::from_us(4500)));
+        assert!(!plan.link_down(port(0), SimTime::from_us(5500)));
+        assert_eq!(
+            plan.gray_rate_frac(
+                crate::LinkId::SwitchPort { switch: 1, port: 3 },
+                SimTime::from_us(5000)
+            ),
+            0.25
+        );
+    }
+
+    #[test]
+    fn partial_pod_layout_is_an_error() {
+        let err = plan_from_toml("pods = 2\n").unwrap_err();
+        assert!(err.contains("pod layout requires"), "{err}");
+    }
+
+    #[test]
+    fn pod_outage_without_layout_is_an_error() {
+        let err =
+            plan_from_toml("[[pod_outage]]\npod = 0\nstart_us = 1.0\nend_us = 2.0\n").unwrap_err();
+        assert!(err.contains("pod layout"), "{err}");
+    }
+
+    #[test]
+    fn validation_failures_surface_from_toml() {
+        // A zero flap period used to be silently clamped; now it is a parse
+        // error naming the rule.
+        let err = plan_from_toml(
+            "[[link_flap]]\nlink = \"any\"\nfirst_down_us = 1.0\ndown_us = 0.0\n\
+             period_us = 0.0\ncount = 1\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("period must be positive"), "{err}");
+
+        let err = plan_from_toml(
+            "[[gray_degrade]]\nlink = \"any\"\nstart_us = 1.0\nend_us = 2.0\nrate_frac = 0.0\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("rate_frac"), "{err}");
+
+        let err = plan_from_toml("[[jitter]]\nlink = \"any\"\nmax_ns = 0.0\n").unwrap_err();
+        assert!(err.contains("max"), "{err}");
     }
 }

@@ -582,28 +582,34 @@ impl<A: HostAgent> Engine<A> {
         }
         // Fault injection: a downed link transmits nothing. Defer the
         // dequeue and arm exactly one wake at the end of the down window;
-        // queued packets stay buffered (and may tail-drop) meanwhile.
+        // queued packets stay buffered (and may tail-drop) meanwhile. A
+        // gray-degraded link still transmits, but at a fraction of its
+        // nominal rate — serialization is stretched by 1/rate_frac below.
+        let mut gray_frac = 1.0f64;
         if let Some(plan) = &self.config.faults {
-            let flink = fault_link(node, port);
-            if plan.affects_fabric() && plan.link_down(flink, now) {
-                if !port_state.fault_wake_armed {
-                    port_state.fault_wake_armed = true;
-                    let up = plan.link_up_at(flink, now);
-                    self.schedule_ev(up, Event::LinkUp { node, port });
-                    if self.telemetry.is_enabled() {
-                        let (kind, node_id) = node_tag(node);
-                        self.telemetry.emit(
-                            now,
-                            TraceEvent::FaultLinkDown {
-                                node: kind,
-                                node_id,
-                                port,
-                                until_ps: up.as_ps(),
-                            },
-                        );
+            if plan.affects_fabric() {
+                let flink = fault_link(node, port);
+                if plan.link_down(flink, now) {
+                    if !port_state.fault_wake_armed {
+                        port_state.fault_wake_armed = true;
+                        let up = plan.link_up_at(flink, now);
+                        self.schedule_ev(up, Event::LinkUp { node, port });
+                        if self.telemetry.is_enabled() {
+                            let (kind, node_id) = node_tag(node);
+                            self.telemetry.emit(
+                                now,
+                                TraceEvent::FaultLinkDown {
+                                    node: kind,
+                                    node_id,
+                                    port,
+                                    until_ps: up.as_ps(),
+                                },
+                            );
+                        }
                     }
+                    return;
                 }
-                return;
+                gray_frac = plan.gray_rate_frac(flink, now);
             }
         }
         if let Some(pkt) = port_state.dequeue() {
@@ -614,6 +620,11 @@ impl<A: HostAgent> Engine<A> {
                 SimDuration::from_ps(pkt.size_bytes as u64 * 8 * ppb)
             } else {
                 link.rate.serialize_time(pkt.size_bytes as u64)
+            };
+            let ser = if gray_frac < 1.0 {
+                ser.mul_f64(1.0 / gray_frac)
+            } else {
+                ser
             };
             let tel_info = self
                 .telemetry
@@ -768,7 +779,7 @@ impl<A: HostAgent> Engine<A> {
                         };
                         match fate {
                             PacketFate::Deliver => {
-                                extra = plan.extra_delay(flink, pkt.id);
+                                extra = plan.extra_delay(flink, pkt.id, now);
                             }
                             PacketFate::Lose | PacketFate::Corrupt => {
                                 let corrupt = fate == PacketFate::Corrupt;
@@ -1208,6 +1219,69 @@ mod tests {
             (eng.agents()[2].received.clone(), eng.fault_loss_totals())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gray_degrade_stretches_serialization_exactly() {
+        // Both hops (host NIC + switch egress) degraded to 1/4 rate for the
+        // whole window: each 332.8 ns serialization becomes 1331.2 ns while
+        // propagation is untouched.
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut config = cfg2();
+        config.faults = Some(Arc::new(
+            FaultPlan {
+                seed: 1,
+                gray: vec![aequitas_faults::GrayDegrade {
+                    link: LinkSel::Any,
+                    window: aequitas_faults::Window {
+                        start: SimTime::ZERO,
+                        end: SimTime::from_ms(1),
+                    },
+                    rate_frac: 0.25,
+                    jitter_ramp: SimDuration::ZERO,
+                }],
+                ..FaultPlan::default()
+            }
+            .validated()
+            .unwrap(),
+        ));
+        let agents = vec![Blaster::sender(HostId(1), 1, 0, 4160), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, config);
+        eng.run_until(SimTime::from_ms(1));
+        let rx = &eng.agents()[1].received;
+        assert_eq!(rx.len(), 1, "gray link is slow, not down");
+        assert_eq!(rx[0].0.as_ps(), 2 * 4 * 332_800 + 2 * 500_000);
+        assert_eq!(eng.fault_loss_totals(), (0, 0));
+    }
+
+    #[test]
+    fn switch_outage_blackholes_then_recovers() {
+        // The whole switch goes dark for [0, 50 us); the packet waits at the
+        // switch egress and delivers right after recovery, like a flap but
+        // driven by the switch-level fault kind.
+        let topo = Topology::star(2, LinkSpec::default_100g());
+        let mut config = cfg2();
+        config.faults = Some(Arc::new(
+            FaultPlan {
+                seed: 1,
+                switch_outages: vec![aequitas_faults::SwitchOutage {
+                    switch: 0,
+                    window: aequitas_faults::Window {
+                        start: SimTime::ZERO,
+                        end: SimTime::from_us(50),
+                    },
+                }],
+                ..FaultPlan::default()
+            }
+            .validated()
+            .unwrap(),
+        ));
+        let agents = vec![Blaster::sender(HostId(1), 1, 0, 4160), Blaster::sink()];
+        let mut eng = Engine::new(topo, agents, config);
+        eng.run_until(SimTime::from_ms(1));
+        let rx = &eng.agents()[1].received;
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].0.as_ps(), 50_000_000 + 332_800 + 500_000);
     }
 }
 

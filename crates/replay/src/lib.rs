@@ -32,6 +32,7 @@ pub mod json;
 pub mod metrics;
 pub mod reconstruct;
 pub mod report;
+pub mod timeline;
 pub mod trace;
 
 pub use audit::{audit_file, AuditOptions, AuditReport, CheckStatus};

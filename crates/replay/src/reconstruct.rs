@@ -222,6 +222,10 @@ pub struct Reconstruction {
     pub qos: BTreeMap<u64, ChannelStats>,
     /// Admit-probability trajectories per (host, dst, qos).
     pub admit: BTreeMap<(u64, u64, u64), AdmitTimeline>,
+    /// Per-QoS `(completion time, RNL-per-MTU in ps)` points in stream
+    /// order, warmup-filtered — the raw material for windowed recovery
+    /// timelines ([`crate::timeline`]).
+    pub qos_rnl_points: BTreeMap<u64, Vec<(u64, f64)>>,
     /// Fault windows and counters.
     pub faults: FaultSummary,
     /// Stream-health counters.
@@ -457,6 +461,12 @@ impl Reconstruction {
                         stats.rnl_ps.record(rnl as f64);
                         stats.rnl_per_mtu_ps.record(rnl_per_mtu as f64);
                     }
+                }
+                if warm {
+                    self.qos_rnl_points
+                        .entry(qos)
+                        .or_default()
+                        .push((ev.t_ps, rnl_per_mtu as f64));
                 }
             }
             "admit_prob" => {

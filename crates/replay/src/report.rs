@@ -359,6 +359,43 @@ pub fn report_text(recon: &mut Reconstruction, report: &AuditReport) -> String {
             );
         }
     }
+    // Recovery: when the trace carries fault windows and per-QoS SLOs,
+    // report how long after the first fault onset each QoS's windowed p99
+    // stayed above its SLO (crate::timeline semantics).
+    let onset = recon
+        .faults
+        .link_windows
+        .values()
+        .flat_map(|ws| ws.iter().map(|&(start, _)| start))
+        .min();
+    if let (Some(onset), Some(info)) = (onset, recon.run_info.as_ref()) {
+        const RECOVERY_WINDOW_PS: u64 = 500_000_000; // 500 us buckets
+        for (&q, points) in &recon.qos_rnl_points {
+            let slo = info
+                .slos_per_mtu_ps
+                .get(q as usize)
+                .copied()
+                .unwrap_or(0);
+            if slo == 0 {
+                continue;
+            }
+            let tl = crate::timeline::windowed(points, RECOVERY_WINDOW_PS);
+            let restored = crate::timeline::time_to_restore(&tl, onset, slo as f64);
+            let _ = match restored {
+                Some(d) => writeln!(
+                    out,
+                    "  qos{q}: SLO restored {:.3}ms after fault onset ({:.3}ms)",
+                    d as f64 / 1e9,
+                    onset as f64 / 1e9
+                ),
+                None => writeln!(
+                    out,
+                    "  qos{q}: SLO NOT restored within the trace after fault onset ({:.3}ms)",
+                    onset as f64 / 1e9
+                ),
+            };
+        }
+    }
     out
 }
 

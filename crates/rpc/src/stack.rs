@@ -1149,7 +1149,8 @@ mod retry_tests {
             }],
             ..FaultPlan::default()
         }
-        .validated();
+        .validated()
+        .unwrap();
         let mut cfg = EngineConfig::default_3qos();
         cfg.faults = Some(Arc::new(plan));
         let mut sender = RetryHost::new(0, retry.clone());

@@ -126,3 +126,59 @@ fn fault_events_reach_the_flight_recorder() {
         "expected both outage transitions in the trace, got {outages:?}"
     );
 }
+
+/// The chaos containment matrix: Aequitas and all five baselines run under
+/// one identical seeded fault schedule (spine-switch outage + gray receiver
+/// downlink), and the time-to-SLO-restore metric tells them apart. Aequitas
+/// must recover in finite time, and the recovery must be attributable to
+/// the fault — it happens after repair, not before.
+#[test]
+fn containment_matrix_restores_aequitas_slo_in_finite_time() {
+    let r = chaos::containment(Scale::quick());
+    assert_eq!(r.rows.len(), 6, "Aequitas + five baselines");
+    let names: Vec<&str> = r.rows.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["Aequitas", "pFabric", "QJump", "D3", "PDQ", "Homa"]);
+
+    for row in &r.rows {
+        assert!(row.completed > 0, "{} completed nothing at all", row.name);
+        // Every scheme was hurt: its worst post-onset window breaches the
+        // 250 us SLO (the schedule blackholes a spine and strangles the
+        // receiver downlink — no scheme rides through untouched).
+        let worst = row.worst_p99_us.unwrap_or(f64::INFINITY);
+        assert!(
+            worst > 250.0,
+            "{}: worst windowed p99 {worst:.1} us should breach the SLO",
+            row.name
+        );
+    }
+
+    let aq = &r.rows[0];
+    let restore_ms = aq
+        .restore_ms
+        .expect("Aequitas must re-meet its SLO in finite time");
+    // The fault lasts 4 ms (onset 4 ms, repair 8 ms) and queues need drain
+    // time, so restore is positive; the horizon ends 12 ms after onset.
+    assert!(
+        restore_ms > 0.0 && restore_ms < 12.0,
+        "Aequitas restore {restore_ms:.1} ms out of range"
+    );
+    // Pre-fault, Aequitas was meeting the SLO — recovery is a return to a
+    // previously healthy state, not a vacuous bound.
+    let pre = aq.pre_fault_p99_us.expect("pre-fault completions");
+    assert!(pre <= 250.0, "Aequitas pre-fault p99 {pre:.1} us over SLO");
+}
+
+/// The containment matrix is itself deterministic: the fault layer's
+/// verdicts are pure functions of (seed, time, entity), so two runs agree
+/// on every row, including the recovery times.
+#[test]
+fn containment_matrix_is_deterministic() {
+    let a = chaos::containment(Scale::quick());
+    let b = chaos::containment(Scale::quick());
+    for (x, y) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.completed, y.completed, "{} diverged", x.name);
+        assert_eq!(x.restore_ms, y.restore_ms, "{} diverged", x.name);
+        assert_eq!(x.worst_p99_us, y.worst_p99_us, "{} diverged", x.name);
+    }
+}

@@ -11,7 +11,10 @@
 
 use aequitas_experiments::harness::{run_macro_sharded, MacroResult, MacroSetup, PolicyChoice};
 use aequitas_experiments::slo;
-use aequitas_netsim::faults::{FaultPlan, LinkFlap, LinkSel, LossRule};
+use aequitas_netsim::faults::{
+    FaultPlan, GrayDegrade, LinkFlap, LinkSel, LossRule, PodLayout, PodOutage, SwitchOutage,
+    Window,
+};
 use aequitas_netsim::{LinkSpec, ShardSpec, Topology};
 use aequitas_sim_core::{BitRate, SimDuration, SimTime};
 use std::sync::Arc;
@@ -122,7 +125,8 @@ fn thread_count_is_invisible_under_chaos() {
             }],
             ..FaultPlan::default()
         }
-        .validated(),
+        .validated()
+        .expect("chaos plan is well-formed"),
     );
     let serial = run(1, Some(plan.clone()));
     let threaded = run(4, Some(plan));
@@ -135,5 +139,66 @@ fn thread_count_is_invisible_under_chaos() {
     assert_ne!(
         serial, clean,
         "the fault plan should have perturbed the simulation"
+    );
+}
+
+/// The correlated/gray fault kinds (switch outage, pod outage, gray degrade
+/// with a jitter ramp) are likewise pure functions of (seed, time, entity) —
+/// a whole-switch blackhole on a domain-boundary spine plus a degraded core
+/// path must stay byte-identical across thread counts.
+#[test]
+fn thread_count_is_invisible_under_correlated_and_gray_faults() {
+    // Clos(2,2,2,...): leaves 0-3, spines 4-7 (spine 4/5 in pod 0), cores 8-9.
+    let plan = Arc::new(
+        FaultPlan {
+            seed: 4242,
+            // Spine 4 dies entirely mid-run — all ports at once, including
+            // its core-facing uplinks, severing a shard boundary.
+            switch_outages: vec![SwitchOutage {
+                switch: 4,
+                window: Window {
+                    start: SimTime::from_us(900),
+                    end: SimTime::from_us(1500),
+                },
+            }],
+            // Pod 1's leaves and spines all blackhole for a short window.
+            pod_outages: vec![PodOutage {
+                pod: 1,
+                window: Window {
+                    start: SimTime::from_us(1800),
+                    end: SimTime::from_us(2000),
+                },
+            }],
+            // Spine 5 runs gray at 40% capacity with a creeping jitter ramp
+            // for most of the run: slow, not down.
+            gray: vec![GrayDegrade {
+                link: LinkSel::Switch(5),
+                window: Window {
+                    start: SimTime::from_us(500),
+                    end: SimTime::from_us(2500),
+                },
+                rate_frac: 0.4,
+                jitter_ramp: SimDuration::from_ns(400),
+            }],
+            pod_layout: Some(PodLayout {
+                pods: 2,
+                leaves_per_pod: 2,
+                spines_per_pod: 2,
+            }),
+            ..FaultPlan::default()
+        }
+        .validated()
+        .expect("correlated-fault chaos plan is well-formed"),
+    );
+    let serial = run(1, Some(plan.clone()));
+    let threaded = run(4, Some(plan));
+    assert_eq!(
+        serial, threaded,
+        "THREADS=1 and THREADS=4 diverged under switch/pod outages + gray degrade"
+    );
+    let clean = run(1, None);
+    assert_ne!(
+        serial, clean,
+        "the correlated fault plan should have perturbed the simulation"
     );
 }
